@@ -1,0 +1,168 @@
+// dicer-bench regenerates the tables and figures of the DICER paper's
+// evaluation on the simulated platform.
+//
+// Usage:
+//
+//	dicer-bench -fig all            # everything (slow: full 59x59 sweep)
+//	dicer-bench -fig 1              # Figure 1 only
+//	dicer-bench -fig headline       # the paper's headline claims
+//	dicer-bench -fig 3 -hp milc1 -be gcc_base1
+//	dicer-bench -fig 5 -csv out/    # also write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dicer/internal/experiments"
+	"dicer/internal/report"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "which figure to regenerate: table1, 1-8, headline, sensitivity, ablation, all")
+		hp      = flag.String("hp", "milc1", "HP application for -fig 3")
+		be      = flag.String("be", "gcc_base1", "BE application for -fig 3")
+		bes     = flag.Int("bes", 9, "number of co-located BE instances")
+		csvDir  = flag.String("csv", "", "directory to also write CSV files into")
+		jsonDir = flag.String("json", "", "directory to also write JSON files into")
+		workers = flag.Int("workers", 0, "parallel simulation workers (0 = all cores)")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Workers = *workers
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("platform: %s\n\n", experiments.MachineSummary(cfg.Machine))
+
+	emit := func(name string, t *report.Table) {
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+		if *jsonDir != "" {
+			if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+				fatal(err)
+			}
+			body, err := t.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*jsonDir, name+".json")
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+
+	want := func(name string) bool {
+		return *fig == "all" || strings.EqualFold(*fig, name)
+	}
+
+	if want("table1") {
+		emit("table1", suite.Table1())
+	}
+	if want("1") {
+		f, err := suite.Figure1(*bes)
+		if err != nil {
+			fatal(err)
+		}
+		emit("figure1", f.Table())
+	}
+	if want("2") {
+		f, err := suite.Figure2()
+		if err != nil {
+			fatal(err)
+		}
+		emit("figure2", f.Table())
+	}
+	if want("3") {
+		f, err := suite.Figure3(*hp, *be, *bes)
+		if err != nil {
+			fatal(err)
+		}
+		emit("figure3", f.Table())
+	}
+	if want("4") {
+		f, err := suite.Figure4(*bes)
+		if err != nil {
+			fatal(err)
+		}
+		emit("figure4", f.Table())
+	}
+	if want("5") {
+		f, err := suite.Figure5(*bes)
+		if err != nil {
+			fatal(err)
+		}
+		emit("figure5", f.Table())
+	}
+	if want("sensitivity") {
+		for _, sweep := range []struct {
+			name string
+			run  func(int) (experiments.SensitivityResult, error)
+		}{
+			{"sensitivity_bw", suite.SensitivityBWThreshold},
+			{"sensitivity_alpha", suite.SensitivityAlpha},
+			{"sensitivity_phase", suite.SensitivityPhaseThreshold},
+			{"sensitivity_step", suite.SensitivitySampleStep},
+		} {
+			r, err := sweep.run(*bes)
+			if err != nil {
+				fatal(err)
+			}
+			emit(sweep.name, r.Table())
+		}
+	}
+	if want("ablation") {
+		r, err := suite.Ablations(*bes)
+		if err != nil {
+			fatal(err)
+		}
+		emit("ablation", r.Table())
+	}
+	if want("6") || want("7") || want("8") || want("headline") {
+		grid, err := suite.GridFor(*bes)
+		if err != nil {
+			fatal(err)
+		}
+		if want("6") {
+			emit("figure6", grid.Figure6().Table())
+		}
+		if want("7") {
+			for i, t := range grid.Figure7().Tables() {
+				emit(fmt.Sprintf("figure7_slo%d", i), t)
+			}
+		}
+		if want("8") {
+			for i, t := range grid.Figure8().Tables() {
+				emit(fmt.Sprintf("figure8_%d", i), t)
+			}
+		}
+		if want("headline") {
+			emit("headline", grid.Headline(cfg.Machine.Cores).Table())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dicer-bench:", err)
+	os.Exit(1)
+}

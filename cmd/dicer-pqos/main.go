@@ -1,0 +1,136 @@
+// dicer-pqos mimics the intel-cmt-cat `pqos` utility — the tool whose
+// library the DICER paper extends (§3.3) — against the emulated platform.
+// It builds a demo co-location (one HP + BEs), applies allocations given
+// in pqos syntax, advances simulated time, and prints monitoring data.
+//
+// Usage:
+//
+//	dicer-pqos -s                          # show current allocation
+//	dicer-pqos -e "llc:0=0xffffe;llc:1=0x1"  # set CBMs, then monitor
+//	dicer-pqos -m -t 5                     # monitor for 5 seconds
+//	dicer-pqos -hp mcf1 -be lbm1 -n 9 -e "llc:1=0x3" -m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dicer/internal/app"
+	"dicer/internal/machine"
+	"dicer/internal/policy"
+	"dicer/internal/report"
+	"dicer/internal/resctrl"
+	"dicer/internal/sim"
+)
+
+func main() {
+	var (
+		show    = flag.Bool("s", false, "show current allocation and assignment")
+		alloc   = flag.String("e", "", `allocation string, e.g. "llc:0=0xffffe;llc:1=0x1"`)
+		monitor = flag.Bool("m", false, "monitor LLC occupancy and memory bandwidth")
+		seconds = flag.Int("t", 3, "monitoring duration in simulated seconds")
+		hp      = flag.String("hp", "omnetpp1", "HP application (catalog name)")
+		be      = flag.String("be", "gcc_base1", "BE application (catalog name)")
+		n       = flag.Int("n", 9, "BE instances")
+	)
+	flag.Parse()
+
+	m := machine.Default()
+	r, err := sim.New(m, 2)
+	check(err)
+	check(r.Attach(0, policy.HPClos, app.MustByName(*hp)))
+	for i := 1; i <= *n; i++ {
+		check(r.Attach(i, policy.BEClos, app.MustByName(*be)))
+	}
+	emu := resctrl.NewEmu(r, true)
+
+	if *alloc != "" {
+		check(applyAlloc(emu, *alloc))
+		fmt.Printf("Allocation configuration altered.\n\n")
+	}
+	if *show || *alloc != "" {
+		showAlloc(emu)
+	}
+	if *monitor {
+		monitorLoop(emu, *seconds)
+	}
+	if !*show && *alloc == "" && !*monitor {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// applyAlloc parses pqos -e syntax: "llc:<clos>=<mask>[;llc:<clos>=<mask>...]".
+func applyAlloc(sys resctrl.System, s string) error {
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rest, ok := strings.CutPrefix(part, "llc:")
+		if !ok {
+			return fmt.Errorf("unsupported allocation %q (only llc: is implemented)", part)
+		}
+		closStr, maskStr, ok := strings.Cut(rest, "=")
+		if !ok {
+			return fmt.Errorf("malformed allocation %q", part)
+		}
+		clos, err := strconv.Atoi(closStr)
+		if err != nil {
+			return fmt.Errorf("bad CLOS in %q", part)
+		}
+		mask, err := strconv.ParseUint(strings.TrimPrefix(maskStr, "0x"), 16, 64)
+		if err != nil {
+			return fmt.Errorf("bad mask in %q", part)
+		}
+		if err := sys.SetCBM(clos, mask); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// showAlloc prints the pqos -s view.
+func showAlloc(sys resctrl.System) {
+	fmt.Println("L3CA COS definitions:")
+	for clos := 0; clos < sys.NumClos(); clos++ {
+		fmt.Printf("    L3CA COS%d => MASK 0x%x\n", clos, sys.CBM(clos))
+	}
+	fmt.Println("Core information:")
+	for _, c := range sys.Counters().Cores {
+		fmt.Printf("    Core %d => COS%d (%s)\n", c.Core, c.Clos, c.Name)
+	}
+	fmt.Println()
+}
+
+// monitorLoop prints per-second monitoring rows, pqos -m style.
+func monitorLoop(emu *resctrl.Emu, seconds int) {
+	meter := resctrl.NewMeter(emu)
+	t := report.NewTable("TIME  (per-CLOS LLC occupancy and memory bandwidth)",
+		"t", "COS", "IPC", "LLC[KB]", "MBL[Gbps]")
+	for s := 1; s <= seconds; s++ {
+		for i := 0; i < 4; i++ {
+			emu.Runner().Step(0.25)
+		}
+		p := meter.Sample()
+		for _, g := range p.Groups {
+			t.AddRowf(s, g.Clos,
+				fmt.Sprintf("%.3f", p.ClosMeanIPC(g.Clos)),
+				fmt.Sprintf("%.0f", g.OccupancyBytes/1024),
+				fmt.Sprintf("%.1f", g.BandwidthGbps))
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		check(err)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dicer-pqos:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"testing"
+
+	"dicer/internal/app"
+	"dicer/internal/machine"
+	"dicer/internal/resctrl"
+	"dicer/internal/sim"
+)
+
+func testSys(t *testing.T) *resctrl.Emu {
+	t.Helper()
+	r, err := sim.New(machine.Default(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Attach(0, 0, app.MustByName("omnetpp1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Attach(1, 1, app.MustByName("gcc_base1")); err != nil {
+		t.Fatal(err)
+	}
+	return resctrl.NewEmu(r, true)
+}
+
+func TestApplyAlloc(t *testing.T) {
+	sys := testSys(t)
+	if err := applyAlloc(sys, "llc:0=0xffffe;llc:1=0x1"); err != nil {
+		t.Fatal(err)
+	}
+	if sys.CBM(0) != 0xffffe || sys.CBM(1) != 0x1 {
+		t.Fatalf("masks %#x/%#x", sys.CBM(0), sys.CBM(1))
+	}
+	// Masks without the 0x prefix parse too (pqos accepts both).
+	if err := applyAlloc(sys, "llc:1=3"); err != nil {
+		t.Fatal(err)
+	}
+	if sys.CBM(1) != 0x3 {
+		t.Fatalf("mask %#x", sys.CBM(1))
+	}
+}
+
+func TestApplyAllocErrors(t *testing.T) {
+	sys := testSys(t)
+	bad := []string{
+		"mba:0=50",  // unsupported resource
+		"llc:0",     // missing mask
+		"llc:x=0x1", // bad clos
+		"llc:0=zz",  // bad mask
+		"llc:0=0x5", // non-contiguous (rejected by the platform)
+		"llc:9=0x1", // clos out of range
+	}
+	for _, s := range bad {
+		if err := applyAlloc(sys, s); err == nil {
+			t.Errorf("%q: expected error", s)
+		}
+	}
+}

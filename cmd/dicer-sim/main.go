@@ -1,0 +1,161 @@
+// dicer-sim runs one consolidation scenario under a chosen co-location
+// policy and prints a per-period timeline plus the summary metrics.
+//
+// Usage:
+//
+//	dicer-sim -hp milc1 -be gcc_base1 -n 9 -policy dicer -trace
+//	dicer-sim -hp omnetpp1 -be lbm1 -n 5 -policy static:8
+//	dicer-sim -hp milc1 -be gcc_base1 -policy dicer+mba
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dicer"
+	"dicer/internal/core"
+	"dicer/internal/ext"
+	"dicer/internal/policy"
+)
+
+func main() {
+	var (
+		hp       = flag.String("hp", "milc1", "high-priority application (catalog name)")
+		be       = flag.String("be", "gcc_base1", "best-effort application (catalog name)")
+		n        = flag.Int("n", 9, "number of BE instances")
+		polName  = flag.String("policy", "dicer", "um | ct | static:<ways> | dicer | dicer+mba | dicer+bemgr | heracles:<slo>")
+		periods  = flag.Int("periods", 120, "monitoring periods to simulate")
+		trace    = flag.Bool("trace", false, "print DICER controller decisions")
+		every    = flag.Int("every", 10, "print a timeline row every N periods (0 = none)")
+		timeline = flag.String("timeline", "", "write a per-period CSV timeline to this file")
+	)
+	flag.Parse()
+
+	pol, ctl, withMBA, err := buildPolicy(*polName, *hp)
+	if err != nil {
+		fatal(err)
+	}
+	if *trace && ctl != nil {
+		ctl.Trace = func(e dicer.ControllerEvent) {
+			fmt.Printf("  [p%03d %-8s] %-12s hpWays=%2d hpIPC=%.3f totalBW=%.1f Gbps\n",
+				e.Period, e.State, e.Kind, e.HPWays, e.HPIPC, e.TotalBW)
+		}
+	}
+
+	sc := dicer.NewScenario(*hp, *be, *n)
+	sc.HorizonPeriods = *periods
+	sc.WithMBA = withMBA
+	var tl *dicer.Timeline
+	if *timeline != "" {
+		tl = &dicer.Timeline{}
+		sc.AttachTimeline(tl)
+	} else if *every > 0 {
+		sc.OnPeriod = func(period int, p dicer.Period) {
+			if period%*every != 0 {
+				return
+			}
+			fmt.Printf("t=%3ds hpIPC=%.3f beIPC=%.3f hpBW=%5.1f totBW=%5.1f Gbps\n",
+				period, p.ClosMeanIPC(policy.HPClos), p.ClosMeanIPC(policy.BEClos),
+				p.GroupBW(policy.HPClos), p.TotalGbps)
+		}
+	}
+
+	fmt.Printf("scenario: %s (HP) + %dx %s (BEs), policy %s, %d periods\n\n",
+		*hp, *n, *be, pol.Name(), *periods)
+	res, err := sc.Run(pol)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\nresults (%s):\n", res.PolicyName)
+	fmt.Printf("  HP IPC            %.3f (alone %.3f, normalised %.3f, slowdown %.3fx)\n",
+		res.HPIPC, res.HPAloneIPC, res.HPNorm(), res.HPSlowdown())
+	be0 := res.BEIPCs[0]
+	fmt.Printf("  BE IPC            %.3f (alone %.3f, normalised %.3f)\n",
+		be0, res.BEAloneIPCs[0], res.BENorms()[0])
+	fmt.Printf("  effective util    %.3f\n", res.EFU())
+	for _, slo := range []float64{0.80, 0.85, 0.90, 0.95} {
+		status := "MISSED"
+		if res.SLOAchieved(slo) {
+			status = "met"
+		}
+		fmt.Printf("  SLO %.0f%%           %s (SUCI@1: %.3f)\n", slo*100, status, res.SUCI(slo, 1))
+	}
+	fmt.Printf("  final HP ways     %d\n", res.FinalHPWays)
+
+	if tl != nil {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := tl.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		lo, hi := tl.MinMaxHPWays()
+		fmt.Printf("  timeline          %s (%d periods, HP ways ranged %d..%d)\n",
+			*timeline, len(tl.Entries), lo, hi)
+	}
+}
+
+// buildPolicy parses the -policy flag. hpName is needed for controllers
+// that require the HP's alone-run reference (heracles).
+func buildPolicy(name, hpName string) (dicer.Policy, *core.Controller, bool, error) {
+	switch {
+	case name == "um":
+		return dicer.Unmanaged(), nil, false, nil
+	case name == "ct":
+		return dicer.CacheTakeover(), nil, false, nil
+	case strings.HasPrefix(name, "static:"):
+		ways, err := strconv.Atoi(strings.TrimPrefix(name, "static:"))
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("bad static way count in %q", name)
+		}
+		return dicer.StaticPartition(ways), nil, false, nil
+	case name == "dicer":
+		ctl := dicer.NewDICER()
+		return ctl, ctl, false, nil
+	case name == "dicer+mba":
+		cfg := dicer.DefaultControllerConfig()
+		d, err := ext.NewDicerMBA(cfg, ext.DefaultMBAConfig(cfg.BWThresholdGbps))
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return d, d.Controller(), true, nil
+	case strings.HasPrefix(name, "heracles:"):
+		slo, err := strconv.ParseFloat(strings.TrimPrefix(name, "heracles:"), 64)
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("bad heracles SLO in %q", name)
+		}
+		prof, err := dicer.AppByName(hpName)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		ref, err := dicer.AloneIPC(dicer.Machine{}, prof)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		h, err := ext.NewHeracles(ref, slo)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return h, nil, false, nil
+	case name == "dicer+bemgr":
+		cfg := dicer.DefaultControllerConfig()
+		ctl := dicer.NewDICER()
+		mgr, err := ext.NewBEManager(ctl, ext.DefaultBEManagerConfig(cfg.BWThresholdGbps))
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return mgr, ctl, false, nil
+	}
+	return nil, nil, false, fmt.Errorf("unknown policy %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dicer-sim:", err)
+	os.Exit(1)
+}

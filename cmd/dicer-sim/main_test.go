@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestBuildPolicy(t *testing.T) {
+	cases := []struct {
+		spec    string
+		name    string
+		hasCtl  bool
+		withMBA bool
+	}{
+		{"um", "UM", false, false},
+		{"ct", "CT", false, false},
+		{"static:8", "Static(8)", false, false},
+		{"dicer", "DICER", true, false},
+		{"dicer+mba", "DICER+MBA", true, true},
+		{"dicer+bemgr", "DICER+BEMGR", true, false},
+		{"heracles:0.9", "Heracles", false, false},
+	}
+	for _, tc := range cases {
+		pol, ctl, mba, err := buildPolicy(tc.spec, "omnetpp1")
+		if err != nil {
+			t.Fatalf("%q: %v", tc.spec, err)
+		}
+		if pol.Name() != tc.name {
+			t.Errorf("%q: policy %q, want %q", tc.spec, pol.Name(), tc.name)
+		}
+		if (ctl != nil) != tc.hasCtl {
+			t.Errorf("%q: controller presence %v, want %v", tc.spec, ctl != nil, tc.hasCtl)
+		}
+		if mba != tc.withMBA {
+			t.Errorf("%q: withMBA %v, want %v", tc.spec, mba, tc.withMBA)
+		}
+	}
+}
+
+func TestBuildPolicyErrors(t *testing.T) {
+	bad := []string{"", "bogus", "static:", "static:x", "heracles:x", "heracles:2"}
+	for _, spec := range bad {
+		if _, _, _, err := buildPolicy(spec, "omnetpp1"); err == nil {
+			t.Errorf("%q: expected error", spec)
+		}
+	}
+	if _, _, _, err := buildPolicy("heracles:0.9", "nosuchapp"); err == nil {
+		t.Error("expected error for unknown HP with heracles")
+	}
+}

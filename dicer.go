@@ -1,0 +1,150 @@
+// Package dicer is a reproduction of "DICER: Diligent Cache Partitioning
+// for Efficient Workload Consolidation" (Nikas et al., ICPP 2019): a
+// dynamic last-level-cache partitioning controller that co-locates one
+// high-priority (HP) application with best-effort (BE) applications,
+// protecting the HP's performance while handing every spare cache way to
+// the BEs to maximise server utilisation.
+//
+// The package is a facade over the implementation packages:
+//
+//   - the DICER controller itself (Listings 1–3 of the paper), written
+//     against a resctrl-style interface so it can drive real Intel RDT
+//     hardware or the bundled simulator;
+//   - a discrete-time multicore simulator (way-partitioned LLC, shared
+//     memory link with saturation, phase-structured application models,
+//     and a 59-entry SPEC/PARSEC-like workload catalog);
+//   - the baseline policies (Unmanaged, Cache-Takeover, static
+//     partitions), the paper's §6 extensions (MBA throttling, BE-count
+//     management, overlapping partitions), and the metrics (EFU, SUCI,
+//     SLO conformance);
+//   - an experiment harness that regenerates every table and figure of
+//     the paper's evaluation (see bench_test.go and cmd/dicer-bench).
+//
+// Quick start:
+//
+//	sc := dicer.NewScenario("omnetpp1", "gcc_base1", 9)
+//	res, err := sc.Run(dicer.NewDICER())
+//	fmt.Println(res.HPNorm(), res.EFU())
+//
+// See examples/ for runnable programs.
+package dicer
+
+import (
+	"dicer/internal/app"
+	"dicer/internal/cache"
+	"dicer/internal/core"
+	"dicer/internal/experiments"
+	"dicer/internal/machine"
+	"dicer/internal/membw"
+	"dicer/internal/metrics"
+	"dicer/internal/mrc"
+	"dicer/internal/policy"
+	"dicer/internal/resctrl"
+	"dicer/internal/sim"
+)
+
+// Aliases re-exporting the library's building blocks through the public
+// package. External importers use these names; the internal packages stay
+// private.
+type (
+	// Machine describes the simulated platform (Table 1 of the paper).
+	Machine = machine.Machine
+	// Link is the memory-link model with saturation behaviour.
+	Link = membw.Link
+	// Profile is a phase-structured application model.
+	Profile = app.Profile
+	// Phase is one execution phase of a Profile.
+	Phase = app.Phase
+	// Curve is an analytic miss-ratio curve over cache capacity.
+	Curve = mrc.Curve
+	// Component is one working set of a Curve's mixture.
+	Component = mrc.Component
+	// Policy is a co-location policy (UM, CT, Static, DICER, extensions).
+	Policy = policy.Policy
+	// System is the RDT/resctrl-style monitoring+allocation interface.
+	System = resctrl.System
+	// Period is one monitoring period's counter readings.
+	Period = resctrl.Period
+	// Controller is the DICER control state machine.
+	Controller = core.Controller
+	// ControllerConfig holds DICER's tunables (Table 1 defaults).
+	ControllerConfig = core.Config
+	// ControllerEvent is one traced controller decision.
+	ControllerEvent = core.Event
+	// Cache is the trace-driven way-partitioned LLC simulator.
+	Cache = cache.Cache
+	// CacheConfig is the LLC geometry for the trace-driven simulator.
+	CacheConfig = cache.Config
+	// Runner is the discrete-time co-location simulator.
+	Runner = sim.Runner
+	// Suite memoises experiment runs (figure drivers hang off it).
+	Suite = experiments.Suite
+	// ExperimentConfig configures the experiment harness.
+	ExperimentConfig = experiments.Config
+	// Workload names one HP + n×BE multiprogrammed workload.
+	Workload = experiments.Workload
+	// Result is one co-located run's outcome.
+	Result = experiments.Result
+	// SLOMonitor tracks rolling per-period SLO conformance with an alarm.
+	SLOMonitor = metrics.SLOMonitor
+)
+
+// DefaultMachine returns the paper's platform: 10 cores at 2.2 GHz, 25 MB
+// 20-way LLC, 68.3 Gbps memory link.
+func DefaultMachine() Machine { return machine.Default() }
+
+// DefaultControllerConfig returns the paper's Table 1 DICER parameters:
+// T = 1 s, 50 Gbps saturation threshold, 30 % phase threshold, a = 5 %.
+func DefaultControllerConfig() ControllerConfig { return core.DefaultConfig() }
+
+// NewDICER builds a DICER controller with the paper's configuration.
+func NewDICER() *Controller { return core.MustNew(core.DefaultConfig()) }
+
+// NewDICERWith builds a DICER controller with a custom configuration.
+func NewDICERWith(cfg ControllerConfig) (*Controller, error) { return core.New(cfg) }
+
+// Unmanaged returns the UM baseline policy: no resource control at all.
+func Unmanaged() Policy { return policy.Unmanaged{} }
+
+// CacheTakeover returns the CT baseline policy: HP statically owns all but
+// one LLC way.
+func CacheTakeover() Policy { return policy.CacheTakeover{} }
+
+// StaticPartition returns a fixed partition with hpWays exclusive ways for
+// the HP.
+func StaticPartition(hpWays int) Policy { return policy.Static{HPWays: hpWays} }
+
+// Catalog returns the 59-application workload catalog (25 SPEC CPU 2006
+// programs, 8 with multiple inputs, plus 9 PARSEC 3.0 programs).
+func Catalog() []Profile { return app.Catalog() }
+
+// AppByName looks up a catalog profile, e.g. "milc1" or "gcc_base3".
+func AppByName(name string) (Profile, error) { return app.ByName(name) }
+
+// AppNames returns all catalog profile names, sorted.
+func AppNames() []string { return app.Names() }
+
+// NewSuite builds an experiment suite for regenerating the paper's
+// figures; use DefaultExperimentConfig for the paper's setup.
+func NewSuite(cfg ExperimentConfig) (*Suite, error) { return experiments.NewSuite(cfg) }
+
+// DefaultExperimentConfig returns the paper's evaluation configuration.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// NewSLOMonitor builds a rolling conformance monitor over the last n
+// monitoring periods: feed it per-period HP IPC readings and it reports
+// the fraction that met the SLO, alarming (with a full-window guard) when
+// conformance drops below alarmBelow.
+func NewSLOMonitor(ipcAlone, slo float64, n int, alarmBelow float64) *SLOMonitor {
+	return metrics.NewSLOMonitor(ipcAlone, slo, n, alarmBelow)
+}
+
+// EFU computes the paper's Eq. 1 effective utilisation from normalised
+// IPCs (IPC / IPC_alone, one entry per co-located application).
+func EFU(normIPCs []float64) float64 { return metrics.EFU(normIPCs) }
+
+// SUCI computes the paper's Eq. 4 combined index from SLO conformance,
+// effective utilisation, and the weighting exponent lambda.
+func SUCI(sloAchieved bool, efu, lambda float64) float64 {
+	return metrics.SUCI(sloAchieved, efu, lambda)
+}

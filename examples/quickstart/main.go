@@ -1,0 +1,32 @@
+// Quickstart: co-locate a cache-sensitive high-priority application with
+// nine best-effort instances and let DICER manage the LLC partition.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dicer"
+)
+
+func main() {
+	// One HP (omnetpp, cache-sensitive) + 9 BEs (gcc) on the paper's
+	// 10-core, 25 MB 20-way Xeon.
+	sc := dicer.NewScenario("omnetpp1", "gcc_base1", 9)
+
+	for _, pol := range []dicer.Policy{
+		dicer.Unmanaged(),     // no control: full contention
+		dicer.CacheTakeover(), // static: HP gets 19 of 20 ways
+		dicer.NewDICER(),      // dynamic: adapts to the HP's needs
+	} {
+		res, err := sc.Run(pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s HP norm IPC %.3f  BE norm IPC %.3f  EFU %.3f  SLO90 %v\n",
+			res.PolicyName, res.HPNorm(), res.BENorms()[0], res.EFU(),
+			res.SLOAchieved(0.90))
+	}
+}

@@ -1,0 +1,78 @@
+// resctrlfs: drive the emulated platform exactly the way a sysadmin (or
+// the intel-cmt-cat tooling the paper extends) drives /sys/fs/resctrl on
+// real hardware — through file paths, schemata strings and monitoring
+// files — and implement a miniature Cache-Takeover by hand.
+//
+//	go run ./examples/resctrlfs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dicer"
+	"dicer/internal/app"
+	"dicer/internal/policy"
+	"dicer/internal/resctrl"
+	"dicer/internal/sim"
+)
+
+func main() {
+	// Build the paper's machine with one HP (mcf) and nine BEs (lbm).
+	m := dicer.DefaultMachine()
+	r, err := sim.New(m, 2)
+	check(err)
+	check(r.Attach(0, policy.HPClos, app.MustByName("mcf1")))
+	for core := 1; core <= 9; core++ {
+		check(r.Attach(core, policy.BEClos, app.MustByName("lbm1")))
+	}
+	fs := resctrl.NewFS(resctrl.NewEmu(r, false))
+
+	// Discover the platform, as `cat /sys/fs/resctrl/info/L3/*` would.
+	cbm, _ := fs.ReadFile("/info/L3/cbm_mask")
+	closids, _ := fs.ReadFile("/info/L3/num_closids")
+	fmt.Printf("platform CBM: %s", cbm)
+	fmt.Printf("closids:      %s\n", closids)
+
+	// Create a control group for the best-efforts and take the cache over
+	// for the HP: root group (CLOS 0) gets ways 1..19, "be" (CLOS 1) gets
+	// way 0 — the CT policy, written as schemata strings.
+	check(fs.Mkdir("/be"))
+	check(fs.WriteFile("/schemata", "L3:0=ffffe"))
+	check(fs.WriteFile("/be/schemata", "L3:0=00001"))
+
+	s1, _ := fs.ReadFile("/schemata")
+	s2, _ := fs.ReadFile("/be/schemata")
+	fmt.Printf("root schemata: %s", s1)
+	fmt.Printf("be schemata:   %s\n", s2)
+
+	// Run 10 seconds and read the monitoring files (CMT occupancy, MBM
+	// bytes), as a monitoring daemon would.
+	for i := 0; i < 40; i++ {
+		r.Step(0.25)
+	}
+	for _, group := range []string{"", "/be"} {
+		occ, err := fs.ReadFile(group + "/mon_data/mon_L3_00/llc_occupancy")
+		check(err)
+		bw, err := fs.ReadFile(group + "/mon_data/mon_L3_00/mbm_total_bytes")
+		check(err)
+		name := group
+		if name == "" {
+			name = "/(root)"
+		}
+		fmt.Printf("%-8s llc_occupancy=%s         mbm_total_bytes=%s", name, trim(occ), bw)
+	}
+}
+
+func trim(s string) string {
+	if len(s) > 0 && s[len(s)-1] == '\n' {
+		return s[:len(s)-1]
+	}
+	return s
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module dicer
+
+go 1.22

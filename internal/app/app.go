@@ -1,0 +1,235 @@
+// Package app models applications as the co-location simulator sees them:
+// a sequence of phases, each with an instruction budget, a base CPI (all
+// stall sources except LLC misses), an LLC access rate (APKI — accesses per
+// kilo-instruction), and an analytic miss-ratio curve over cache capacity.
+//
+// The model is deliberately the minimal one that reproduces the phenomena
+// the DICER paper builds on:
+//
+//   - IPC as a function of allocated LLC capacity (via the miss curve),
+//   - memory-bandwidth demand as a function of IPC and miss ratio,
+//   - sensitivity of IPC to memory-latency inflation (bandwidth saturation),
+//   - phase changes that shift cache requirements mid-run.
+//
+// Performance model, per phase:
+//
+//	CPI(c, f) = BaseCPI + (APKI/1000) * missRatio(c) * MemLat * f
+//
+// where c is available cache bytes and f the memory-latency inflation
+// factor from internal/membw. Bandwidth demand follows from the miss rate:
+//
+//	bytes/s = IPS * (APKI/1000) * missRatio(c) * LineBytes * WBFactor
+//
+// WBFactor accounts for write-back traffic accompanying fills.
+package app
+
+import (
+	"fmt"
+
+	"dicer/internal/machine"
+	"dicer/internal/mrc"
+)
+
+// WBFactor inflates fill traffic to account for dirty write-backs. 1.5 is a
+// typical read:write mix for SPEC-like workloads.
+const WBFactor = 1.5
+
+// Phase is one execution phase of an application.
+type Phase struct {
+	Name         string
+	Instructions float64 // instruction budget of the phase
+	BaseCPI      float64 // CPI from everything except LLC misses
+	APKI         float64 // LLC accesses per kilo-instruction
+	Curve        mrc.Curve
+}
+
+// Validate reports configuration errors.
+func (p Phase) Validate() error {
+	if p.Instructions <= 0 {
+		return fmt.Errorf("app: phase %q has non-positive instruction budget", p.Name)
+	}
+	if p.BaseCPI <= 0 {
+		return fmt.Errorf("app: phase %q has non-positive base CPI", p.Name)
+	}
+	if p.APKI < 0 {
+		return fmt.Errorf("app: phase %q has negative APKI", p.Name)
+	}
+	return nil
+}
+
+// Profile is a complete application description.
+type Profile struct {
+	Name   string
+	Suite  string // "spec2006" or "parsec3"
+	Class  Class  // qualitative behaviour class (documentation + sampling)
+	Phases []Phase
+}
+
+// Class is a coarse behavioural label used for workload sampling and
+// reporting; it does not influence simulation.
+type Class string
+
+// Behaviour classes assigned to catalog entries.
+const (
+	ClassStream  Class = "stream"  // bandwidth-bound, low cache sensitivity
+	ClassCache   Class = "cache"   // IPC strongly dependent on LLC share
+	ClassCompute Class = "compute" // core-bound, light LLC traffic
+	ClassMixed   Class = "mixed"   // phase-dependent behaviour
+)
+
+// Validate reports configuration errors.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("app: empty profile name")
+	}
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("app: profile %q has no phases", p.Name)
+	}
+	for _, ph := range p.Phases {
+		if err := ph.Validate(); err != nil {
+			return fmt.Errorf("profile %q: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+// TotalInstructions returns the instruction budget of one complete run.
+func (p Profile) TotalInstructions() float64 {
+	var t float64
+	for _, ph := range p.Phases {
+		t += ph.Instructions
+	}
+	return t
+}
+
+// MaxFootprint returns the largest cacheable footprint over all phases.
+func (p Profile) MaxFootprint() float64 {
+	var m float64
+	for _, ph := range p.Phases {
+		if f := ph.Curve.Footprint(); f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// Perf is the instantaneous operating point of a process.
+type Perf struct {
+	IPC         float64 // instructions per cycle
+	MissRatio   float64 // LLC miss ratio at the offered capacity
+	MPKI        float64 // LLC misses per kilo-instruction
+	BytesPerSec float64 // memory traffic demand
+	OccupancyB  float64 // bytes the process keeps resident at this capacity
+}
+
+// PhasePerf evaluates the performance model for a phase on machine m with
+// cacheBytes of LLC available, memory-latency inflation factor, and a
+// base-CPI co-location factor (machine.CoLocFactor; 1 when running alone).
+func PhasePerf(m machine.Machine, ph Phase, cacheBytes, inflation, baseFactor float64) Perf {
+	miss := ph.Curve.MissRatio(cacheBytes)
+	mpki := ph.APKI * miss
+	cpi := ph.BaseCPI*baseFactor + mpki/1000*m.MemLatCycles*inflation
+	ipc := 1 / cpi
+	ips := ipc * m.CyclesPerSecond()
+	bytes := ips * mpki / 1000 * float64(m.LineBytes) * WBFactor
+	return Perf{
+		IPC:         ipc,
+		MissRatio:   miss,
+		MPKI:        mpki,
+		BytesPerSec: bytes,
+		OccupancyB:  ph.Curve.OccupancyDemand(cacheBytes),
+	}
+}
+
+// Proc is a running instance of a Profile. The simulator restarts the
+// application when it completes, matching the paper's methodology ("when an
+// application finishes, it is restarted until all of them have executed at
+// least once").
+type Proc struct {
+	Profile Profile
+
+	phase      int
+	phaseInstr float64 // instructions retired within the current phase
+
+	// Cumulative counters (survive restarts).
+	Instructions float64
+	Cycles       float64
+	MemBytes     float64
+	Completions  int
+}
+
+// NewProc creates a runnable instance of p. It panics if p is invalid;
+// catalog profiles are validated by tests.
+func NewProc(p Profile) *Proc {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Proc{Profile: p}
+}
+
+// Phase returns the currently executing phase.
+func (pr *Proc) Phase() Phase { return pr.Profile.Phases[pr.phase] }
+
+// PhaseIndex returns the index of the current phase.
+func (pr *Proc) PhaseIndex() int { return pr.phase }
+
+// Perf evaluates the instantaneous performance of the current phase.
+func (pr *Proc) Perf(m machine.Machine, cacheBytes, inflation, baseFactor float64) Perf {
+	return PhasePerf(m, pr.Phase(), cacheBytes, inflation, baseFactor)
+}
+
+// Advance runs the process for dt seconds at a fixed operating point
+// (cacheBytes, inflation), crossing phase boundaries and restarting as
+// needed. It returns the instructions retired during the interval.
+func (pr *Proc) Advance(m machine.Machine, cacheBytes, inflation, baseFactor, dt float64) float64 {
+	cyclesLeft := dt * m.CyclesPerSecond()
+	var retired float64
+	for cyclesLeft > 1e-9 {
+		ph := pr.Phase()
+		perf := PhasePerf(m, ph, cacheBytes, inflation, baseFactor)
+		phaseRemaining := ph.Instructions - pr.phaseInstr
+		// Cycles needed to finish the phase at the current CPI.
+		cpi := 1 / perf.IPC
+		needed := phaseRemaining * cpi
+		step := cyclesLeft
+		finishes := needed <= cyclesLeft
+		if finishes {
+			step = needed
+		}
+		instr := step / cpi
+		pr.phaseInstr += instr
+		pr.Instructions += instr
+		pr.Cycles += step
+		pr.MemBytes += perf.BytesPerSec * (step / m.CyclesPerSecond())
+		retired += instr
+		cyclesLeft -= step
+		if finishes {
+			pr.phase++
+			pr.phaseInstr = 0
+			if pr.phase >= len(pr.Profile.Phases) {
+				pr.phase = 0
+				pr.Completions++
+			}
+		}
+	}
+	return retired
+}
+
+// Reset rewinds the process to the start of its profile and zeroes all
+// counters.
+func (pr *Proc) Reset() {
+	pr.phase = 0
+	pr.phaseInstr = 0
+	pr.Instructions = 0
+	pr.Cycles = 0
+	pr.MemBytes = 0
+	pr.Completions = 0
+}
+
+// IPC returns the cumulative IPC since the last Reset.
+func (pr *Proc) IPC() float64 {
+	if pr.Cycles == 0 {
+		return 0
+	}
+	return pr.Instructions / pr.Cycles
+}

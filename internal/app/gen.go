@@ -1,0 +1,117 @@
+package app
+
+import (
+	"fmt"
+
+	"dicer/internal/mrc"
+)
+
+// Generator produces random — but seeded and therefore reproducible —
+// application profiles. The experiment harness uses the fixed 59-entry
+// catalog to mirror the paper; the generator exists for robustness
+// testing (drive the whole stack with arbitrary workloads) and for users
+// who want populations beyond SPEC/PARSEC look-alikes.
+type Generator struct {
+	// MaxFootprintBytes bounds the total cacheable working set of a
+	// generated phase. Defaults to 16 MB.
+	MaxFootprintBytes float64
+	// MaxPhases bounds the phase count per profile (>= 1). Defaults to 3.
+	MaxPhases int
+	// MaxAPKI bounds the LLC access rate. Defaults to 35.
+	MaxAPKI float64
+
+	state uint64
+}
+
+// NewGenerator returns a generator with the given seed.
+func NewGenerator(seed uint64) *Generator {
+	return &Generator{
+		MaxFootprintBytes: 16 * MB,
+		MaxPhases:         3,
+		MaxAPKI:           35,
+		state:             seed ^ 0x9e3779b97f4a7c15,
+	}
+}
+
+// next is splitmix64.
+func (g *Generator) next() uint64 {
+	g.state += 0x9e3779b97f4a7c15
+	z := g.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// uniform returns a float in [lo, hi).
+func (g *Generator) uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*float64(g.next()>>11)/(1<<53)
+}
+
+// intn returns an int in [1, n].
+func (g *Generator) intn(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 + int(g.next()%uint64(n))
+}
+
+// Profile generates one random application profile named name.
+func (g *Generator) Profile(name string) Profile {
+	nPhases := g.intn(g.MaxPhases)
+	phases := make([]Phase, nPhases)
+	class := []Class{ClassStream, ClassCache, ClassCompute, ClassMixed}[g.next()%4]
+	for i := range phases {
+		phases[i] = g.phase(fmt.Sprintf("p%d", i), class)
+	}
+	return Profile{Name: name, Suite: "generated", Class: class, Phases: phases}
+}
+
+// phase generates a phase consistent with the class's qualitative shape.
+func (g *Generator) phase(name string, class Class) Phase {
+	var stream, apki, cpi float64
+	var comps []mrc.Component
+	budget := 1.0 // access-fraction budget left for components
+	switch class {
+	case ClassStream:
+		stream = g.uniform(0.4, 0.8)
+		apki = g.uniform(0.4, 1.0) * g.MaxAPKI
+		cpi = g.uniform(0.5, 0.8)
+	case ClassCache:
+		stream = g.uniform(0.05, 0.3)
+		apki = g.uniform(0.2, 0.6) * g.MaxAPKI
+		cpi = g.uniform(0.7, 1.0)
+	case ClassCompute:
+		stream = g.uniform(0.0, 0.1)
+		apki = g.uniform(0.02, 0.2) * g.MaxAPKI
+		cpi = g.uniform(0.5, 0.9)
+	default: // ClassMixed
+		stream = g.uniform(0.1, 0.4)
+		apki = g.uniform(0.1, 0.6) * g.MaxAPKI
+		cpi = g.uniform(0.6, 0.9)
+	}
+	budget -= stream
+	sizeBudget := g.MaxFootprintBytes
+	for n := g.intn(2); n > 0 && budget > 0.05 && sizeBudget > MB/16; n-- {
+		frac := g.uniform(0.1, 0.6) * budget
+		size := g.uniform(0.02, 1.0) * sizeBudget
+		comps = append(comps, mrc.Component{Bytes: size, Frac: frac})
+		budget -= frac
+		sizeBudget -= size
+	}
+	return Phase{
+		Name:         name,
+		Instructions: g.uniform(10, 80) * G,
+		BaseCPI:      cpi,
+		APKI:         apki,
+		Curve:        mrc.MustCurve(stream, comps...),
+	}
+}
+
+// Population generates n distinct profiles named prefix0..prefix<n-1>.
+func (g *Generator) Population(prefix string, n int) []Profile {
+	out := make([]Profile, n)
+	for i := range out {
+		out[i] = g.Profile(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package app
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorProfilesValid(t *testing.T) {
+	g := NewGenerator(1)
+	for i := 0; i < 100; i++ {
+		p := g.Profile("x")
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generated profile %d invalid: %v", i, err)
+		}
+		if p.MaxFootprint() > g.MaxFootprintBytes {
+			t.Fatalf("footprint %g exceeds bound", p.MaxFootprint())
+		}
+		for _, ph := range p.Phases {
+			if ph.APKI > g.MaxAPKI {
+				t.Fatalf("APKI %g exceeds bound", ph.APKI)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(42).Population("w", 10)
+	b := NewGenerator(42).Population("w", 10)
+	for i := range a {
+		if len(a[i].Phases) != len(b[i].Phases) {
+			t.Fatalf("profile %d phase counts differ", i)
+		}
+		for j := range a[i].Phases {
+			if a[i].Phases[j].APKI != b[i].Phases[j].APKI {
+				t.Fatalf("profile %d phase %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	a := NewGenerator(1).Profile("x")
+	b := NewGenerator(2).Profile("x")
+	if a.Phases[0].APKI == b.Phases[0].APKI && a.Phases[0].BaseCPI == b.Phases[0].BaseCPI {
+		t.Fatal("different seeds produced identical profiles")
+	}
+}
+
+func TestGeneratorPopulationNames(t *testing.T) {
+	pop := NewGenerator(7).Population("gen", 5)
+	if len(pop) != 5 {
+		t.Fatalf("population size %d", len(pop))
+	}
+	if pop[0].Name != "gen0" || pop[4].Name != "gen4" {
+		t.Fatalf("names %q..%q", pop[0].Name, pop[4].Name)
+	}
+}
+
+// Property: generated profiles respect class shapes (streamers stream,
+// compute apps are quiet).
+func TestPropertyGeneratorClassShapes(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := NewGenerator(seed)
+		for i := 0; i < 10; i++ {
+			p := g.Profile("x")
+			for _, ph := range p.Phases {
+				switch p.Class {
+				case ClassStream:
+					if ph.Curve.StreamFraction() < 0.4 {
+						return false
+					}
+				case ClassCompute:
+					if ph.APKI > 0.2*g.MaxAPKI {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,441 @@
+// Package core implements DICER, the dynamic cache-partitioning controller
+// of the paper (§3, Listings 1–3). DICER co-locates one high-priority (HP)
+// application with best-effort (BE) applications and, once per monitoring
+// period, adapts the way-based LLC partition between them:
+//
+//   - It starts exactly like Cache-Takeover: HP owns all but one way
+//     (CT_Favoured is assumed true).
+//   - If total memory bandwidth exceeds a threshold, the link is
+//     saturated: the workload is CT-Thwarted, and DICER *samples*
+//     decreasing HP allocations to find the one with the highest HP IPC
+//     (optimal_allocation / IPC_opt), then enforces it.
+//   - Otherwise it *optimises*: a bandwidth spike against the geometric
+//     mean of the previous three periods signals a phase change (Eq. 2)
+//     and triggers a reset; stable IPC (Eq. 3) lets DICER shrink HP by one
+//     way in favour of the BEs; improved IPC holds; degraded IPC resets.
+//   - A *reset* re-applies the best-known allocation (CT's for CT-Favoured
+//     workloads, optimal_allocation for CT-Thwarted ones) and validates it
+//     over one monitoring period, rolling back or re-sampling as Listing 3
+//     prescribes.
+//
+// The controller is written against the resctrl.System interface and holds
+// no simulator state: it sees only per-period IPC and bandwidth readings,
+// the same observables a production deployment reads from RDT counters.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dicer/internal/policy"
+	"dicer/internal/resctrl"
+)
+
+// Config holds DICER's tunables. Defaults (DefaultConfig) are the paper's
+// Table 1 values.
+type Config struct {
+	// PeriodSec is the monitoring-period length T. The controller itself
+	// is driven externally once per period; this value is used only for
+	// reporting.
+	PeriodSec float64
+	// BWThresholdGbps is MemBW_threshold: total memory bandwidth above
+	// which the link counts as saturated (Table 1: 50 Gbps).
+	BWThresholdGbps float64
+	// PhaseThreshold is Eq. 2's spike factor over the geometric mean of
+	// the previous three periods' HP bandwidth (Table 1: 30 %).
+	PhaseThreshold float64
+	// StabilityAlpha is Eq. 3's a: IPC within ±a of the previous period
+	// counts as stable (Table 1: 5 %).
+	StabilityAlpha float64
+	// NearOptTolerance decides "performance_near_opt" in the CT-T reset
+	// validation: IPC within this fraction below IPC_opt passes.
+	NearOptTolerance float64
+	// SampleStep is the way decrement between successive sampling
+	// allocations (Listing 1's decreasing partition sizes).
+	SampleStep int
+	// MinHPWays / MinBEWays bound the moving partition. CAT requires at
+	// least one way per mask.
+	MinHPWays int
+	MinBEWays int
+
+	// DisablePhaseDetection turns off Eq. 2 (ablation: how much does the
+	// phase detector contribute?). Phase-driven IPC drops then reach the
+	// reset path only through the performance check.
+	DisablePhaseDetection bool
+	// DisableSaturationHandling turns off the bandwidth-saturation check
+	// and allocation sampling, reducing DICER to a pure IPC-driven
+	// partition optimiser — approximately the DCP-QoS scheme the paper
+	// cites as lacking saturation support (ablation).
+	DisableSaturationHandling bool
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		PeriodSec:        1.0,
+		BWThresholdGbps:  50,
+		PhaseThreshold:   0.30,
+		StabilityAlpha:   0.05,
+		NearOptTolerance: 0.05,
+		SampleStep:       2,
+		MinHPWays:        1,
+		MinBEWays:        1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.PeriodSec <= 0 {
+		return fmt.Errorf("dicer: non-positive period %g", c.PeriodSec)
+	}
+	if c.BWThresholdGbps <= 0 {
+		return fmt.Errorf("dicer: non-positive bandwidth threshold %g", c.BWThresholdGbps)
+	}
+	if c.PhaseThreshold <= 0 {
+		return fmt.Errorf("dicer: non-positive phase threshold %g", c.PhaseThreshold)
+	}
+	if c.StabilityAlpha <= 0 || c.StabilityAlpha >= 1 {
+		return fmt.Errorf("dicer: stability alpha %g outside (0,1)", c.StabilityAlpha)
+	}
+	if c.NearOptTolerance <= 0 || c.NearOptTolerance >= 1 {
+		return fmt.Errorf("dicer: near-opt tolerance %g outside (0,1)", c.NearOptTolerance)
+	}
+	if c.SampleStep < 1 {
+		return fmt.Errorf("dicer: sample step %d < 1", c.SampleStep)
+	}
+	if c.MinHPWays < 1 || c.MinBEWays < 1 {
+		return fmt.Errorf("dicer: minimum ways must be >= 1 (hp %d, be %d)", c.MinHPWays, c.MinBEWays)
+	}
+	return nil
+}
+
+// state is the controller's per-period mode.
+type state int
+
+const (
+	stOptimise state = iota // Listing 2: allocation_optimisation
+	stSampling              // Listing 1: allocation_sampling in progress
+	stValidate              // Listing 3: one-period reset validation
+)
+
+func (s state) String() string {
+	switch s {
+	case stOptimise:
+		return "optimise"
+	case stSampling:
+		return "sampling"
+	case stValidate:
+		return "validate"
+	}
+	return "unknown"
+}
+
+// EventKind labels a controller decision for tracing.
+type EventKind string
+
+// Controller decisions, in the vocabulary of the paper's listings.
+const (
+	EventShrink      EventKind = "shrink"       // stable IPC: HP loses one way
+	EventHold        EventKind = "hold"         // improved IPC: keep allocation
+	EventReset       EventKind = "reset"        // degraded IPC or phase change
+	EventPhaseChange EventKind = "phase-change" // Eq. 2 fired
+	EventSample      EventKind = "sample"       // sampling step applied
+	EventSampleDone  EventKind = "sample-done"  // optimal allocation enforced
+	EventRollback    EventKind = "rollback"     // CT-F validation failed
+	EventValidated   EventKind = "validated"    // reset validation passed
+	EventSaturated   EventKind = "saturated"    // bandwidth threshold crossed
+)
+
+// Event records one controller decision; examples and tests subscribe via
+// Config-free Trace to watch DICER think.
+type Event struct {
+	Period  int
+	State   string
+	Kind    EventKind
+	HPWays  int
+	HPIPC   float64
+	TotalBW float64
+}
+
+// Controller is the DICER state machine. It implements policy.Policy.
+type Controller struct {
+	cfg Config
+
+	// Trace, when non-nil, receives one Event per decision.
+	Trace func(Event)
+
+	period     int
+	st         state
+	ctFavoured bool
+	curHP      int // HP ways currently enforced
+
+	// Best-known allocation for CT-T workloads (Listing 1's
+	// optimal_allocation and IPC_opt).
+	optimalHP int
+	ipcOpt    float64
+
+	// IPC of the previous monitoring period (Eq. 3's IPC_{t-1}).
+	prevIPC  float64
+	havePrev bool
+
+	// HP bandwidth history for phase detection (Eq. 2), newest last.
+	bwHist []float64
+
+	// Sampling bookkeeping.
+	sampleHP int
+	bestHP   int
+	bestIPC  float64
+
+	// Reset bookkeeping (Listing 3).
+	rollbackHP      int
+	resetTriggerIPC float64
+}
+
+// New creates a DICER controller with the given configuration.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg}, nil
+}
+
+// MustNew is New with a panic on bad configuration, for tests/examples.
+func MustNew(cfg Config) *Controller {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name implements policy.Policy.
+func (c *Controller) Name() string { return "DICER" }
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// HPWays returns the HP way count currently enforced.
+func (c *Controller) HPWays() int { return c.curHP }
+
+// CTFavoured reports whether the controller still assumes the workload is
+// CT-Favoured (no bandwidth saturation observed so far).
+func (c *Controller) CTFavoured() bool { return c.ctFavoured }
+
+// State returns the controller state name, for reporting.
+func (c *Controller) State() string { return c.st.String() }
+
+// Setup implements policy.Policy: DICER begins exactly like CT, assuming a
+// CT-Favoured workload (Listing 1's initialisation).
+func (c *Controller) Setup(sys resctrl.System) error {
+	total := sys.NumWays()
+	if total < c.cfg.MinHPWays+c.cfg.MinBEWays {
+		return fmt.Errorf("dicer: %d ways cannot satisfy minimums %d+%d",
+			total, c.cfg.MinHPWays, c.cfg.MinBEWays)
+	}
+	c.period = 0
+	c.st = stOptimise
+	c.ctFavoured = true
+	c.curHP = total - c.cfg.MinBEWays
+	c.optimalHP = c.curHP
+	c.ipcOpt = 0
+	c.prevIPC = 0
+	c.havePrev = false
+	c.bwHist = c.bwHist[:0]
+	return policy.SplitWays(sys, c.curHP)
+}
+
+// Observe implements policy.Policy: one invocation per monitoring period,
+// with the period's counter readings. This is Listing 1's dicer_driver
+// loop body.
+func (c *Controller) Observe(sys resctrl.System, p resctrl.Period) error {
+	c.period++
+	hpIPC := p.ClosMeanIPC(policy.HPClos)
+	hpBW := p.GroupBW(policy.HPClos)
+	saturated := p.TotalGbps > c.cfg.BWThresholdGbps && !c.cfg.DisableSaturationHandling
+
+	switch c.st {
+	case stSampling:
+		return c.observeSampling(sys, hpIPC, p.TotalGbps)
+	case stValidate:
+		return c.observeValidate(sys, hpIPC, p.TotalGbps, saturated)
+	default:
+		return c.observeOptimise(sys, hpIPC, hpBW, p.TotalGbps, saturated)
+	}
+}
+
+// observeOptimise is Listing 2 plus Listing 1's saturation check.
+func (c *Controller) observeOptimise(sys resctrl.System, hpIPC, hpBW, totalBW float64, saturated bool) error {
+	if saturated {
+		c.emit(EventSaturated, hpIPC, totalBW)
+		return c.startSampling(sys, hpIPC, totalBW)
+	}
+
+	phase := c.phaseChange(hpBW) && !c.cfg.DisablePhaseDetection
+	c.pushBW(hpBW)
+	if phase {
+		c.emit(EventPhaseChange, hpIPC, totalBW)
+		return c.reset(sys, hpIPC, totalBW)
+	}
+
+	if !c.havePrev {
+		c.prevIPC = hpIPC
+		c.havePrev = true
+		c.emit(EventHold, hpIPC, totalBW)
+		return nil
+	}
+
+	lo := (1 - c.cfg.StabilityAlpha) * c.prevIPC
+	hi := (1 + c.cfg.StabilityAlpha) * c.prevIPC
+	switch {
+	case hpIPC >= lo && hpIPC <= hi:
+		// Stable (Eq. 3): the allocation exceeds HP's needs; shift one way
+		// to the BEs to raise utilisation.
+		c.prevIPC = hpIPC
+		if c.curHP > c.cfg.MinHPWays {
+			c.curHP--
+			c.emit(EventShrink, hpIPC, totalBW)
+			return policy.SplitWays(sys, c.curHP)
+		}
+		c.emit(EventHold, hpIPC, totalBW)
+		return nil
+	case hpIPC > hi:
+		// Better: a faster phase with the same cache needs; hold.
+		c.prevIPC = hpIPC
+		c.emit(EventHold, hpIPC, totalBW)
+		return nil
+	default:
+		// Worse: either the shrinking went too far or a slower phase
+		// began; Listing 2 resets in both cases.
+		c.emit(EventReset, hpIPC, totalBW)
+		return c.reset(sys, hpIPC, totalBW)
+	}
+}
+
+// phaseChange evaluates Eq. 2 against the previous three periods.
+func (c *Controller) phaseChange(hpBW float64) bool {
+	if len(c.bwHist) < 3 {
+		return false
+	}
+	g := math.Cbrt(c.bwHist[0] * c.bwHist[1] * c.bwHist[2])
+	return hpBW > (1+c.cfg.PhaseThreshold)*g
+}
+
+func (c *Controller) pushBW(bw float64) {
+	c.bwHist = append(c.bwHist, bw)
+	if len(c.bwHist) > 3 {
+		c.bwHist = c.bwHist[1:]
+	}
+}
+
+// startSampling begins Listing 1's allocation_sampling. The current
+// period's reading becomes the first sample (it measured curHP ways).
+func (c *Controller) startSampling(sys resctrl.System, hpIPC, totalBW float64) error {
+	c.ctFavoured = false
+	c.st = stSampling
+	c.bestHP = c.curHP
+	c.bestIPC = hpIPC
+	c.sampleHP = c.curHP
+	return c.applyNextSample(sys, hpIPC, totalBW)
+}
+
+// observeSampling records the sample measured over the elapsed period and
+// applies the next one, or enforces the optimum when done.
+func (c *Controller) observeSampling(sys resctrl.System, hpIPC, totalBW float64) error {
+	if hpIPC > c.bestIPC {
+		c.bestIPC = hpIPC
+		c.bestHP = c.sampleHP
+	}
+	return c.applyNextSample(sys, hpIPC, totalBW)
+}
+
+// applyNextSample steps the sampled allocation down, or finishes sampling.
+func (c *Controller) applyNextSample(sys resctrl.System, hpIPC, totalBW float64) error {
+	next := c.sampleHP - c.cfg.SampleStep
+	if next >= c.cfg.MinHPWays {
+		c.sampleHP = next
+		c.curHP = next
+		c.emit(EventSample, hpIPC, totalBW)
+		return policy.SplitWays(sys, next)
+	}
+	// Sampling complete: enforce optimal_allocation and restart the
+	// optimisation from there (Listing 1: allocation_sampling).
+	c.optimalHP = c.bestHP
+	c.ipcOpt = c.bestIPC
+	c.curHP = c.optimalHP
+	c.st = stOptimise
+	c.prevIPC = c.ipcOpt
+	c.havePrev = true
+	c.bwHist = c.bwHist[:0]
+	c.emit(EventSampleDone, hpIPC, totalBW)
+	return policy.SplitWays(sys, c.curHP)
+}
+
+// reset applies Listing 3's allocation_reset: re-enforce the best-known
+// allocation and validate it over the next period.
+func (c *Controller) reset(sys resctrl.System, hpIPC, totalBW float64) error {
+	c.rollbackHP = c.curHP
+	c.resetTriggerIPC = hpIPC
+	if c.ctFavoured {
+		c.curHP = sys.NumWays() - c.cfg.MinBEWays
+	} else {
+		c.curHP = c.optimalHP
+	}
+	c.st = stValidate
+	return policy.SplitWays(sys, c.curHP)
+}
+
+// observeValidate is the monitoring period embedded in Listing 3.
+func (c *Controller) observeValidate(sys resctrl.System, hpIPC, totalBW float64, saturated bool) error {
+	if saturated {
+		c.emit(EventSaturated, hpIPC, totalBW)
+		return c.startSampling(sys, hpIPC, totalBW)
+	}
+	if c.ctFavoured {
+		if hpIPC > c.resetTriggerIPC {
+			// The reset helped: the degradation was allocation-induced.
+			c.resumeOptimise(hpIPC)
+			c.emit(EventValidated, hpIPC, totalBW)
+			return nil
+		}
+		// The degradation was a slower phase, not the allocation: revert.
+		c.curHP = c.rollbackHP
+		c.resumeOptimise(hpIPC)
+		c.emit(EventRollback, hpIPC, totalBW)
+		return policy.SplitWays(sys, c.curHP)
+	}
+	// CT-Thwarted: the reverted allocation must reproduce IPC_opt.
+	if hpIPC >= (1-c.cfg.NearOptTolerance)*c.ipcOpt {
+		c.resumeOptimise(hpIPC)
+		c.emit(EventValidated, hpIPC, totalBW)
+		return nil
+	}
+	// The optimum has moved: sample again.
+	c.emit(EventReset, hpIPC, totalBW)
+	return c.startSampling(sys, hpIPC, totalBW)
+}
+
+// resumeOptimise returns to the optimisation state with a fresh IPC
+// baseline and cleared bandwidth history (the allocation just changed, so
+// old bandwidth readings would fake a phase change).
+func (c *Controller) resumeOptimise(hpIPC float64) {
+	c.st = stOptimise
+	c.prevIPC = hpIPC
+	c.havePrev = true
+	c.bwHist = c.bwHist[:0]
+}
+
+func (c *Controller) emit(kind EventKind, hpIPC, totalBW float64) {
+	if c.Trace == nil {
+		return
+	}
+	c.Trace(Event{
+		Period:  c.period,
+		State:   c.st.String(),
+		Kind:    kind,
+		HPWays:  c.curHP,
+		HPIPC:   hpIPC,
+		TotalBW: totalBW,
+	})
+}
+
+var _ policy.Policy = (*Controller)(nil)

@@ -1,0 +1,372 @@
+// Package experiments reproduces the DICER paper's evaluation: it builds
+// multiprogrammed workloads from the 59-application catalog, runs them
+// under the UM / CT / DICER policies on the simulated platform, and
+// regenerates every table and figure of the paper (drivers in figures.go,
+// workload classification and sampling in sample.go).
+//
+// All runs are deterministic. A Suite memoises run results so the figure
+// drivers (and the benchmarks in the repository root) can share the
+// expensive 59×59 sweeps within a process.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dicer/internal/app"
+	"dicer/internal/core"
+	"dicer/internal/machine"
+	"dicer/internal/metrics"
+	"dicer/internal/policy"
+	"dicer/internal/resctrl"
+	"dicer/internal/sim"
+)
+
+// Config controls how scenarios are simulated.
+type Config struct {
+	Machine machine.Machine
+	// PeriodSec is the monitoring period T (Table 1: 1 s).
+	PeriodSec float64
+	// StepsPerPeriod subdivides each period into simulator steps; the
+	// operating point is re-solved at each step.
+	StepsPerPeriod int
+	// HorizonPeriods is the simulated duration of co-located runs, long
+	// enough for applications to complete and restart (the paper restarts
+	// every application until all have run at least once).
+	HorizonPeriods int
+	// SweepHorizonPeriods is the (shorter) horizon used for the full
+	// 59×59 baseline sweep of Figure 1.
+	SweepHorizonPeriods int
+	// Workers bounds run parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// DICER returns the controller configuration (Table 1 defaults).
+	DICER core.Config
+}
+
+// DefaultConfig returns the paper's evaluation configuration.
+func DefaultConfig() Config {
+	return Config{
+		Machine:             machine.Default(),
+		PeriodSec:           1.0,
+		StepsPerPeriod:      4,
+		HorizonPeriods:      120,
+		SweepHorizonPeriods: 80,
+		Workers:             0,
+		DICER:               core.DefaultConfig(),
+	}
+}
+
+// PolicyName identifies a co-location policy in run keys and reports.
+type PolicyName string
+
+// The three policies the paper evaluates.
+const (
+	UM    PolicyName = "UM"
+	CT    PolicyName = "CT"
+	DICER PolicyName = "DICER"
+)
+
+// newPolicy builds a fresh policy instance (DICER is stateful, so every
+// run needs its own controller).
+func (c Config) newPolicy(name PolicyName) (policy.Policy, error) {
+	switch name {
+	case UM:
+		return policy.Unmanaged{}, nil
+	case CT:
+		return policy.CacheTakeover{}, nil
+	case DICER:
+		return core.New(c.DICER)
+	}
+	return nil, fmt.Errorf("experiments: unknown policy %q", name)
+}
+
+// Workload names one multiprogrammed workload: one HP application
+// co-located with BECount instances of one BE application.
+type Workload struct {
+	HP      string
+	BE      string
+	BECount int
+}
+
+func (w Workload) String() string {
+	return fmt.Sprintf("%s+%dx%s", w.HP, w.BECount, w.BE)
+}
+
+// Result is the outcome of one co-located run.
+type Result struct {
+	Workload Workload
+	Policy   PolicyName
+
+	HPIPC   float64 // cumulative HP IPC over the horizon
+	BEIPC   float64 // mean cumulative IPC across BE instances
+	HPAlone float64 // HP IPC running alone with the full LLC
+	BEAlone float64 // BE IPC running alone with the full LLC
+}
+
+// HPNorm returns HP IPC normalised to its alone run.
+func (r Result) HPNorm() float64 { return metrics.NormIPC(r.HPIPC, r.HPAlone) }
+
+// BENorm returns mean BE IPC normalised to the BE alone run.
+func (r Result) BENorm() float64 { return metrics.NormIPC(r.BEIPC, r.BEAlone) }
+
+// HPSlowdown returns the HP's co-location slowdown.
+func (r Result) HPSlowdown() float64 { return metrics.Slowdown(r.HPAlone, r.HPIPC) }
+
+// EFU returns Eq. 1's effective utilisation for the run.
+func (r Result) EFU() float64 {
+	norm := make([]float64, 0, 1+r.Workload.BECount)
+	norm = append(norm, r.HPNorm())
+	for i := 0; i < r.Workload.BECount; i++ {
+		norm = append(norm, r.BENorm())
+	}
+	return metrics.EFU(norm)
+}
+
+// SLOAchieved reports whether the HP met the given SLO fraction.
+func (r Result) SLOAchieved(slo float64) bool {
+	return metrics.SLOAchieved(r.HPIPC, r.HPAlone, slo)
+}
+
+// SUCI returns Eq. 4 for the run.
+func (r Result) SUCI(slo, lambda float64) float64 {
+	return metrics.SUCI(r.SLOAchieved(slo), r.EFU(), lambda)
+}
+
+// Suite memoises alone runs and co-located runs for one configuration.
+// It is safe for concurrent use.
+type Suite struct {
+	cfg Config
+
+	mu      sync.Mutex
+	alone   map[string]float64   // app -> alone IPC (full LLC)
+	aloneW  map[aloneKey]float64 // (app, ways) -> alone IPC
+	runs    map[runKey]Result    // memoised co-located runs
+	classMu sync.Mutex
+	class   map[int]*Classification // BECount -> classification
+}
+
+type aloneKey struct {
+	name string
+	ways int
+}
+
+type runKey struct {
+	w       Workload
+	policy  PolicyName
+	horizon int
+}
+
+// NewSuite creates a Suite for cfg.
+func NewSuite(cfg Config) (*Suite, error) {
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PeriodSec <= 0 || cfg.StepsPerPeriod <= 0 || cfg.HorizonPeriods <= 0 ||
+		cfg.SweepHorizonPeriods <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive timing configuration %+v", cfg)
+	}
+	if err := cfg.DICER.Validate(); err != nil {
+		return nil, err
+	}
+	return &Suite{
+		cfg:    cfg,
+		alone:  map[string]float64{},
+		aloneW: map[aloneKey]float64{},
+		runs:   map[runKey]Result{},
+		class:  map[int]*Classification{},
+	}, nil
+}
+
+// Config returns the suite configuration.
+func (s *Suite) Config() Config { return s.cfg }
+
+// workers returns the effective worker count.
+func (s *Suite) workers() int {
+	if s.cfg.Workers > 0 {
+		return s.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// AloneIPC returns (memoised) the IPC of the application running alone on
+// the machine with the full LLC.
+func (s *Suite) AloneIPC(name string) (float64, error) {
+	return s.AloneIPCWays(name, s.cfg.Machine.LLCWays)
+}
+
+// AloneIPCWays returns the IPC of the application running alone but
+// restricted to the given number of (exclusive) LLC ways — the measurement
+// behind the paper's Figure 2.
+func (s *Suite) AloneIPCWays(name string, ways int) (float64, error) {
+	key := aloneKey{name, ways}
+	s.mu.Lock()
+	if v, ok := s.aloneW[key]; ok {
+		s.mu.Unlock()
+		return v, nil
+	}
+	s.mu.Unlock()
+
+	prof, err := app.ByName(name)
+	if err != nil {
+		return 0, err
+	}
+	m := s.cfg.Machine
+	r, err := sim.New(m, 1)
+	if err != nil {
+		return 0, err
+	}
+	if err := r.Attach(0, 0, prof); err != nil {
+		return 0, err
+	}
+	if ways < m.LLCWays {
+		// Confine the app to the low `ways` ways; the rest of the LLC is
+		// unreachable (no other CLOS exists).
+		if err := r.SetMask(0, policy.BEMask(m.LLCWays, m.LLCWays-ways)); err != nil {
+			return 0, err
+		}
+	}
+	dt := s.cfg.PeriodSec / float64(s.cfg.StepsPerPeriod)
+	steps := s.cfg.HorizonPeriods * s.cfg.StepsPerPeriod
+	for i := 0; i < steps; i++ {
+		r.Step(dt)
+	}
+	ipc := r.Proc(0).IPC()
+
+	s.mu.Lock()
+	s.aloneW[key] = ipc
+	if ways == m.LLCWays {
+		s.alone[name] = ipc
+	}
+	s.mu.Unlock()
+	return ipc, nil
+}
+
+// Run executes (memoised) one co-located workload under one policy for the
+// given horizon in periods.
+func (s *Suite) Run(w Workload, pol PolicyName, horizon int) (Result, error) {
+	key := runKey{w, pol, horizon}
+	s.mu.Lock()
+	if r, ok := s.runs[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	res, err := s.runUncached(w, pol, horizon)
+	if err != nil {
+		return Result{}, err
+	}
+	s.mu.Lock()
+	s.runs[key] = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+// StaticRun executes one workload under an arbitrary static partition with
+// hpWays exclusive ways for the HP (the Figure 3 sweep). Not memoised.
+func (s *Suite) StaticRun(w Workload, hpWays, horizon int) (Result, error) {
+	return s.run(w, policy.Static{HPWays: hpWays}, PolicyName(policy.Static{HPWays: hpWays}.Name()), horizon)
+}
+
+func (s *Suite) runUncached(w Workload, pol PolicyName, horizon int) (Result, error) {
+	p, err := s.cfg.newPolicy(pol)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.run(w, p, pol, horizon)
+}
+
+// run simulates one co-located scenario: HP on core 0 / CLOS 0, BE
+// instances on cores 1..BECount / CLOS 1, the policy observing once per
+// monitoring period.
+func (s *Suite) run(w Workload, p policy.Policy, polName PolicyName, horizon int) (Result, error) {
+	m := s.cfg.Machine
+	if w.BECount < 1 || w.BECount > m.Cores-1 {
+		return Result{}, fmt.Errorf("experiments: BE count %d outside [1,%d]", w.BECount, m.Cores-1)
+	}
+	hpProf, err := app.ByName(w.HP)
+	if err != nil {
+		return Result{}, err
+	}
+	beProf, err := app.ByName(w.BE)
+	if err != nil {
+		return Result{}, err
+	}
+
+	r, err := sim.New(m, 2)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := r.Attach(0, policy.HPClos, hpProf); err != nil {
+		return Result{}, err
+	}
+	for i := 1; i <= w.BECount; i++ {
+		if err := r.Attach(i, policy.BEClos, beProf); err != nil {
+			return Result{}, err
+		}
+	}
+
+	emu := resctrl.NewEmu(r, false)
+	if err := p.Setup(emu); err != nil {
+		return Result{}, err
+	}
+	meter := resctrl.NewMeter(emu)
+	dt := s.cfg.PeriodSec / float64(s.cfg.StepsPerPeriod)
+	for period := 0; period < horizon; period++ {
+		for step := 0; step < s.cfg.StepsPerPeriod; step++ {
+			r.Step(dt)
+		}
+		if err := p.Observe(emu, meter.Sample()); err != nil {
+			return Result{}, err
+		}
+	}
+
+	res := Result{Workload: w, Policy: polName}
+	res.HPIPC = r.Proc(0).IPC()
+	var beSum float64
+	for i := 1; i <= w.BECount; i++ {
+		beSum += r.Proc(i).IPC()
+	}
+	res.BEIPC = beSum / float64(w.BECount)
+
+	if res.HPAlone, err = s.AloneIPC(w.HP); err != nil {
+		return Result{}, err
+	}
+	if res.BEAlone, err = s.AloneIPC(w.BE); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// RunMany executes all (workload, policy) jobs in parallel, memoising
+// through the suite cache, and returns results in job order.
+type Job struct {
+	W       Workload
+	Policy  PolicyName
+	Horizon int
+}
+
+// RunMany runs jobs across the suite worker pool.
+func (s *Suite) RunMany(jobs []Job) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.workers())
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j Job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = s.Run(j.W, j.Policy, j.Horizon)
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

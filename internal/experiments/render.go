@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dicer/internal/machine"
+	"dicer/internal/report"
+)
+
+// Table1 renders the platform and DICER configuration, mirroring the
+// paper's Table 1.
+func (s *Suite) Table1() *report.Table {
+	m := s.cfg.Machine
+	d := s.cfg.DICER
+	t := report.NewTable("Table 1: system configuration", "Parameter", "Value")
+	t.AddRow("Processor", fmt.Sprintf("%d cores, %.1f GHz, SMT disabled", m.Cores, m.FreqGHz))
+	t.AddRow("LLC", fmt.Sprintf("%d MB, %d-way set associative", m.LLCBytes>>20, m.LLCWays))
+	t.AddRow("Memory bandwidth", fmt.Sprintf("%.1f Gbps", m.Link.CapacityGBps))
+	t.AddRow("Monitoring period", fmt.Sprintf("T = %g sec", d.PeriodSec))
+	t.AddRow("BW saturation threshold", fmt.Sprintf("MemBW_threshold = %g Gbps", d.BWThresholdGbps))
+	t.AddRow("Phase detection threshold", fmt.Sprintf("phase_threshold = %.0f%%", d.PhaseThreshold*100))
+	t.AddRow("IPC stability percentage", fmt.Sprintf("a = %.0f%%", d.StabilityAlpha*100))
+	return t
+}
+
+// Table renders Figure 1 as a table of CDF values.
+func (r Figure1Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 1: CDF of HP slowdown, %d workloads, %d BEs (%% of workloads with slowdown <= x)",
+			r.N, r.BECount),
+		"Slowdown", "UM", "CT")
+	for i, tick := range r.Ticks {
+		t.AddRowf(fmt.Sprintf("%.1f", tick), r.UMCDF[i], r.CTCDF[i])
+	}
+	return t
+}
+
+// Table renders Figure 2 as a table of CDF values by way count.
+func (r Figure2Result) Table() *report.Table {
+	t := report.NewTable(
+		"Figure 2: CDF of minimum LLC ways needed alone for a fraction of full-LLC performance (% of applications)",
+		"Ways", "90%", "95%", "99%")
+	for w := 1; w <= r.Ways; w++ {
+		t.AddRowf(w, r.CDF[0][w-1], r.CDF[1][w-1], r.CDF[2][w-1])
+	}
+	return t
+}
+
+// Table renders Figure 3 as the static partition sweep.
+func (r Figure3Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 3: HP slowdown vs static LLC ways, %s (HP) + %dx %s (BEs); UM = %.3f, best = %d ways",
+			r.HP, r.BECount, r.BE, r.UM, r.BestWays),
+		"HP ways", "Slowdown")
+	for i, w := range r.HPWays {
+		t.AddRowf(w, r.Slowdown[i])
+	}
+	return t
+}
+
+// Table renders Figure 4 as scatter points.
+func (r Figure4Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 4: effective utilisation vs HP slowdown, %d-workload sample, %d BEs",
+			len(r.Points)/2, r.BECount),
+		"Workload", "Class", "Policy", "Slowdown", "EFU")
+	for _, p := range r.Points {
+		t.AddRowf(p.Workload.String(), string(p.Class), string(p.Policy), p.Slowdown, p.EFU)
+	}
+	return t
+}
+
+// Table renders Figure 5 as per-workload normalised IPCs.
+func (r Figure5Result) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 5: normalised HP and BE IPC per workload, %d BEs (CT-F first)", r.BECount),
+		"Workload", "Class",
+		"HP:UM", "HP:CT", "HP:DICER",
+		"BE:UM", "BE:CT", "BE:DICER")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Workload.String(), string(row.Class),
+			row.HPNorm[UM], row.HPNorm[CT], row.HPNorm[DICER],
+			row.BENorm[UM], row.BENorm[CT], row.BENorm[DICER])
+	}
+	return t
+}
+
+// Table renders Figure 6 as geomean EFU by core count.
+func (r Figure6Result) Table() *report.Table {
+	t := report.NewTable(
+		"Figure 6: geometric mean effective utilisation vs employed cores",
+		append([]string{"Policy"}, coresHeaders(r.CoreCounts)...)...)
+	for _, p := range Policies {
+		cells := []interface{}{string(p)}
+		for _, v := range r.EFU[p] {
+			cells = append(cells, v)
+		}
+		t.AddRowf(cells...)
+	}
+	return t
+}
+
+// Tables renders Figure 7, one table per SLO level.
+func (r Figure7Result) Tables() []*report.Table {
+	var out []*report.Table
+	for _, slo := range r.SLOs {
+		t := report.NewTable(
+			fmt.Sprintf("Figure 7: %% of workloads achieving SLO = %.0f%% vs employed cores", slo*100),
+			append([]string{"Policy"}, coresHeaders(r.CoreCounts)...)...)
+		for _, p := range Policies {
+			cells := []interface{}{string(p)}
+			for _, v := range r.Achieved[slo][p] {
+				cells = append(cells, fmt.Sprintf("%.1f", v))
+			}
+			t.AddRowf(cells...)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Tables renders Figure 8, one table per (lambda, SLO).
+func (r Figure8Result) Tables() []*report.Table {
+	var out []*report.Table
+	for _, lambda := range r.Lambdas {
+		for _, slo := range r.SLOs {
+			t := report.NewTable(
+				fmt.Sprintf("Figure 8: geomean SUCI vs employed cores (lambda = %g, SLO = %.0f%%)",
+					lambda, slo*100),
+				append([]string{"Policy"}, coresHeaders(r.CoreCounts)...)...)
+			for _, p := range Policies {
+				cells := []interface{}{string(p)}
+				for _, v := range r.SUCI[lambda][slo][p] {
+					cells = append(cells, v)
+				}
+				t.AddRowf(cells...)
+			}
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Table renders the headline claims.
+func (r HeadlineResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Headline claims (DICER, 1 HP + %d BEs)", r.BECount),
+		"Metric", "Measured", "Paper")
+	t.AddRow("workloads achieving SLO 80%", report.Pct(r.PctSLO80), "> 90%")
+	t.AddRow("workloads achieving SLO 90%", report.Pct(r.PctSLO90), "~ 74%")
+	t.AddRow("geomean effective utilisation", report.F3(r.GeoMeanEFU), "~ 0.60 (mean)")
+	t.AddRow("mean effective utilisation", report.F3(r.MeanEFU), "~ 0.60")
+	return t
+}
+
+func coresHeaders(cores []int) []string {
+	out := make([]string, len(cores))
+	for i, c := range cores {
+		out[i] = fmt.Sprintf("%d", c)
+	}
+	return out
+}
+
+// MachineSummary formats a one-line machine description for CLI banners.
+func MachineSummary(m machine.Machine) string {
+	return fmt.Sprintf("%d cores @ %.1f GHz, %d MB %d-way LLC, %.1f Gbps link",
+		m.Cores, m.FreqGHz, m.LLCBytes>>20, m.LLCWays, m.Link.CapacityGBps)
+}

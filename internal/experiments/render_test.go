@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1TableRendering(t *testing.T) {
+	r := Figure1Result{
+		BECount: 9, N: 4,
+		Ticks: []float64{1.0, 2.0},
+		UMCDF: []float64{10, 90},
+		CTCDF: []float64{20, 100},
+	}
+	out := r.Table().String()
+	for _, want := range []string{"Figure 1", "4 workloads", "9 BEs", "1.0", "2.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure2TableRendering(t *testing.T) {
+	r := Figure2Result{
+		Ways:    2,
+		Targets: Fig2Targets,
+		CDF:     [][]float64{{50, 100}, {40, 100}, {30, 100}},
+	}
+	out := r.Table().String()
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "99%") {
+		t.Errorf("rendering:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 5 { // title+hdr+rule+2 rows
+		t.Errorf("row count:\n%s", out)
+	}
+}
+
+func TestFigure3TableRendering(t *testing.T) {
+	r := Figure3Result{
+		HP: "milc1", BE: "gcc_base1", BECount: 9,
+		HPWays: []int{1, 2}, Slowdown: []float64{1.3, 1.05},
+		UM: 1.05, BestWays: 2, BestValue: 1.05,
+	}
+	out := r.Table().String()
+	for _, want := range []string{"milc1", "gcc_base1", "best = 2 ways", "UM = 1.050"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure4TableRendering(t *testing.T) {
+	r := Figure4Result{BECount: 9, Points: []Fig4Point{
+		{Workload: Workload{HP: "a", BE: "b", BECount: 9}, Class: CTFavoured,
+			Policy: UM, Slowdown: 1.2, EFU: 0.8},
+		{Workload: Workload{HP: "a", BE: "b", BECount: 9}, Class: CTFavoured,
+			Policy: CT, Slowdown: 1.1, EFU: 0.5},
+	}}
+	out := r.Table().String()
+	if !strings.Contains(out, "a+9xb") || !strings.Contains(out, "CT-F") {
+		t.Errorf("rendering:\n%s", out)
+	}
+}
+
+func TestFigure6TableRendering(t *testing.T) {
+	r := Figure6Result{
+		CoreCounts: []int{2, 10},
+		EFU: map[PolicyName][]float64{
+			UM: {0.99, 0.81}, CT: {0.88, 0.55}, DICER: {0.97, 0.76},
+		},
+	}
+	out := r.Table().String()
+	for _, want := range []string{"Figure 6", "UM", "CT", "DICER", "0.810"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure7And8TablesRendering(t *testing.T) {
+	f7 := Figure7Result{
+		CoreCounts: []int{10},
+		SLOs:       []float64{0.80},
+		Achieved: map[float64]map[PolicyName][]float64{
+			0.80: {UM: {67.5}, CT: {92.5}, DICER: {92.5}},
+		},
+	}
+	tables := f7.Tables()
+	if len(tables) != 1 || !strings.Contains(tables[0].String(), "SLO = 80%") {
+		t.Errorf("figure 7 rendering: %v", tables)
+	}
+
+	f8 := Figure8Result{
+		CoreCounts: []int{10},
+		SLOs:       []float64{0.90},
+		Lambdas:    []float64{1},
+		SUCI: map[float64]map[float64]map[PolicyName][]float64{
+			1: {0.90: {UM: {0.02}, CT: {0.05}, DICER: {0.14}}},
+		},
+	}
+	t8 := f8.Tables()
+	if len(t8) != 1 || !strings.Contains(t8[0].String(), "lambda = 1") {
+		t.Errorf("figure 8 rendering: %v", t8)
+	}
+}
+
+func TestHeadlineTableRendering(t *testing.T) {
+	h := HeadlineResult{BECount: 9, PctSLO80: 92.5, PctSLO90: 80.8,
+		GeoMeanEFU: 0.756, MeanEFU: 0.77}
+	out := h.Table().String()
+	for _, want := range []string{"92.5%", "80.8%", "0.756", "> 90%", "~ 74%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMachineSummary(t *testing.T) {
+	out := MachineSummary(DefaultConfig().Machine)
+	for _, want := range []string{"10 cores", "25 MB", "20-way", "68.3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSensitivitySweepAlpha(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	s := suite(t)
+	r, err := s.SensitivityAlpha(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 5 {
+		t.Fatalf("alpha sweep has %d points, want 5", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.GeoMeanEFU <= 0 || p.GeoMeanEFU > 1 {
+			t.Fatalf("EFU %g out of range at a=%g", p.GeoMeanEFU, p.Value)
+		}
+		if p.SLO90Pct < 0 || p.SLO90Pct > 100 {
+			t.Fatalf("SLO%% %g out of range at a=%g", p.SLO90Pct, p.Value)
+		}
+		if p.MeanHPNorm <= 0 || p.MeanHPNorm > 1.05 {
+			t.Fatalf("HP norm %g implausible at a=%g", p.MeanHPNorm, p.Value)
+		}
+	}
+	// A huge stability band (15%) lets DICER shrink the HP much more
+	// aggressively than a tight one (1%), so BEs gain: EFU should not
+	// decrease from the tightest to the loosest setting.
+	if r.Points[len(r.Points)-1].GeoMeanEFU < r.Points[0].GeoMeanEFU-0.02 {
+		t.Errorf("looser stability band lowered EFU: %g -> %g",
+			r.Points[0].GeoMeanEFU, r.Points[len(r.Points)-1].GeoMeanEFU)
+	}
+	if !strings.Contains(r.Table().String(), "Sensitivity") {
+		t.Error("table rendering")
+	}
+}
+
+func TestSensitivityBWThreshold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	s := suite(t)
+	r, err := s.SensitivityBWThreshold(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 7 {
+		t.Fatalf("threshold sweep has %d points", len(r.Points))
+	}
+	// All settings must remain functional (non-degenerate outcomes).
+	for _, p := range r.Points {
+		if p.MeanHPNorm < 0.5 {
+			t.Errorf("threshold %g collapsed HP norm to %g", p.Value, p.MeanHPNorm)
+		}
+	}
+}
+
+func TestAblationsOverSample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	s := suite(t)
+	r, err := s.Ablations(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Variants) != 4 || len(r.Points) != 4 {
+		t.Fatalf("ablation sizes %d/%d", len(r.Variants), len(r.Points))
+	}
+	full := r.Points[0]
+	noSat := r.Points[1]
+	// Removing saturation handling must not *help* HP conformance; allow a
+	// small tolerance for sample noise.
+	if noSat.SLO90Pct > full.SLO90Pct+5 {
+		t.Errorf("ablating saturation handling improved SLO conformance: %.1f -> %.1f",
+			full.SLO90Pct, noSat.SLO90Pct)
+	}
+	if !strings.Contains(r.Table().String(), "Ablation") {
+		t.Error("table rendering")
+	}
+}
+
+func TestExtensionsComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	s := suite(t)
+	r, err := s.Extensions(9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Workloads) == 0 || len(r.Workloads) > 3 {
+		t.Fatalf("extension workloads %d", len(r.Workloads))
+	}
+	if len(r.HPNorm) != 3 {
+		t.Fatalf("variants %d", len(r.HPNorm))
+	}
+	// On stream x stream pairs, both extensions should protect the HP at
+	// least as well as plain DICER on average.
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	plain := mean(r.HPNorm[0])
+	mba := mean(r.HPNorm[1])
+	bemgr := mean(r.HPNorm[2])
+	if mba < plain-0.02 {
+		t.Errorf("MBA extension hurt the HP: %.3f vs %.3f", mba, plain)
+	}
+	if bemgr < plain-0.02 {
+		t.Errorf("BE manager hurt the HP: %.3f vs %.3f", bemgr, plain)
+	}
+	if !strings.Contains(r.Table().String(), "Extensions") {
+		t.Error("table rendering")
+	}
+}

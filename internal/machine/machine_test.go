@@ -1,0 +1,100 @@
+package machine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultMatchesPaperTable1(t *testing.T) {
+	m := Default()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cores != 10 {
+		t.Errorf("cores = %d, want 10", m.Cores)
+	}
+	if m.FreqGHz != 2.2 {
+		t.Errorf("freq = %g, want 2.2", m.FreqGHz)
+	}
+	if m.LLCBytes != 25<<20 {
+		t.Errorf("LLC = %d, want 25 MB", m.LLCBytes)
+	}
+	if m.LLCWays != 20 {
+		t.Errorf("ways = %d, want 20", m.LLCWays)
+	}
+	if math.Abs(m.Link.CapacityGBps-68.3) > 1e-9 {
+		t.Errorf("link = %g, want 68.3 Gbps", m.Link.CapacityGBps)
+	}
+}
+
+func TestValidateRejectsBadMachines(t *testing.T) {
+	base := Default()
+	mutations := []func(*Machine){
+		func(m *Machine) { m.Cores = 0 },
+		func(m *Machine) { m.FreqGHz = 0 },
+		func(m *Machine) { m.LLCBytes = 0 },
+		func(m *Machine) { m.LLCWays = 0 },
+		func(m *Machine) { m.LLCWays = 65 },
+		func(m *Machine) { m.LineBytes = 48 },
+		func(m *Machine) { m.MemLatCycles = 0 },
+		func(m *Machine) { m.CoLocCPIPenalty = -0.1 },
+		func(m *Machine) { m.CoLocCPIPenalty = 1.5 },
+		func(m *Machine) { m.Link.CapacityGBps = 0 },
+	}
+	for i, mut := range mutations {
+		m := base
+		mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestWayBytes(t *testing.T) {
+	m := Default()
+	want := float64(25<<20) / 20
+	if got := m.WayBytes(); got != want {
+		t.Fatalf("way bytes = %g, want %g (1.25 MB)", got, want)
+	}
+	if got := m.WaysBytes(2); got != 2*want {
+		t.Fatalf("2 ways = %g, want %g", got, 2*want)
+	}
+}
+
+func TestCoLocFactor(t *testing.T) {
+	m := Default()
+	if got := m.CoLocFactor(0); got != 1 {
+		t.Fatalf("alone factor = %g, want 1", got)
+	}
+	if got := m.CoLocFactor(9); math.Abs(got-(1+m.CoLocCPIPenalty)) > 1e-12 {
+		t.Fatalf("full-socket factor = %g, want %g", got, 1+m.CoLocCPIPenalty)
+	}
+	half := m.CoLocFactor(4)
+	full := m.CoLocFactor(9)
+	if !(1 < half && half < full) {
+		t.Fatalf("factor not monotone: 1 < %g < %g expected", half, full)
+	}
+	single := Machine{Cores: 1, FreqGHz: 1, LLCBytes: 1 << 20, LLCWays: 4,
+		LineBytes: 64, MemLatCycles: 100, CoLocCPIPenalty: 0.5}
+	if got := single.CoLocFactor(3); got != 1 {
+		t.Fatalf("single-core factor = %g, want 1", got)
+	}
+}
+
+func TestCyclesPerSecond(t *testing.T) {
+	m := Default()
+	if got := m.CyclesPerSecond(); got != 2.2e9 {
+		t.Fatalf("cycles/s = %g, want 2.2e9", got)
+	}
+}
+
+func TestFullMask(t *testing.T) {
+	m := Default()
+	if got := m.FullMask(); got != 0xfffff {
+		t.Fatalf("full mask = %#x, want 0xfffff", got)
+	}
+	m.LLCWays = 64
+	if got := m.FullMask(); got != ^uint64(0) {
+		t.Fatalf("64-way mask = %#x", got)
+	}
+}

@@ -1,0 +1,121 @@
+package metrics
+
+// Window is a fixed-size ring of float64 observations with O(1) append and
+// O(n) aggregate queries — the bookkeeping an operator dashboard needs to
+// track per-period SLO conformance or rolling IPC without keeping a full
+// history. The zero value is unusable; construct with NewWindow.
+type Window struct {
+	buf  []float64
+	next int
+	full bool
+}
+
+// NewWindow creates a window holding the most recent n observations.
+func NewWindow(n int) *Window {
+	if n <= 0 {
+		n = 1
+	}
+	return &Window{buf: make([]float64, n)}
+}
+
+// Push appends an observation, evicting the oldest when full.
+func (w *Window) Push(v float64) {
+	w.buf[w.next] = v
+	w.next++
+	if w.next == len(w.buf) {
+		w.next = 0
+		w.full = true
+	}
+}
+
+// Len returns the number of stored observations.
+func (w *Window) Len() int {
+	if w.full {
+		return len(w.buf)
+	}
+	return w.next
+}
+
+// Cap returns the window size.
+func (w *Window) Cap() int { return len(w.buf) }
+
+// values iterates stored observations (order irrelevant to aggregates).
+func (w *Window) values() []float64 {
+	if w.full {
+		return w.buf
+	}
+	return w.buf[:w.next]
+}
+
+// Mean returns the arithmetic mean of the stored observations.
+func (w *Window) Mean() float64 { return Mean(w.values()) }
+
+// Min returns the smallest stored observation (0 when empty).
+func (w *Window) Min() float64 {
+	vs := w.values()
+	if len(vs) == 0 {
+		return 0
+	}
+	min := vs[0]
+	for _, v := range vs {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// FractionAtLeast returns the fraction of stored observations >= x.
+func (w *Window) FractionAtLeast(x float64) float64 {
+	return Fraction(w.values(), func(v float64) bool { return v >= x })
+}
+
+// SLOMonitor tracks per-period HP conformance over a rolling window: feed
+// it the HP's per-period IPC and it reports the fraction of recent periods
+// that met the SLO, plus a violation alarm with hysteresis (the paper's
+// SLA view is per-run; operators watch per-period).
+type SLOMonitor struct {
+	// IPCAlone is the reference IPC; SLO the target fraction of it.
+	IPCAlone float64
+	SLO      float64
+	// AlarmBelow is the conformance fraction under which Alarming trips
+	// (e.g. 0.9 = alarm when more than 10% of recent periods violated).
+	AlarmBelow float64
+
+	win *Window
+}
+
+// NewSLOMonitor builds a monitor over the last n periods.
+func NewSLOMonitor(ipcAlone, slo float64, n int, alarmBelow float64) *SLOMonitor {
+	return &SLOMonitor{
+		IPCAlone:   ipcAlone,
+		SLO:        slo,
+		AlarmBelow: alarmBelow,
+		win:        NewWindow(n),
+	}
+}
+
+// Observe records one period's HP IPC.
+func (m *SLOMonitor) Observe(hpIPC float64) {
+	norm := NormIPC(hpIPC, m.IPCAlone)
+	met := 0.0
+	if norm >= m.SLO {
+		met = 1
+	}
+	m.win.Push(met)
+}
+
+// Conformance returns the fraction of recorded periods that met the SLO.
+func (m *SLOMonitor) Conformance() float64 {
+	if m.win.Len() == 0 {
+		return 0
+	}
+	return m.win.Mean()
+}
+
+// Alarming reports whether rolling conformance has fallen below the alarm
+// threshold (only once the window has filled, so startup transients do not
+// page anyone).
+func (m *SLOMonitor) Alarming() bool {
+	return m.win.Len() == m.win.Cap() && m.Conformance() < m.AlarmBelow
+}

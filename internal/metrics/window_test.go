@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowFillAndEvict(t *testing.T) {
+	w := NewWindow(3)
+	if w.Len() != 0 || w.Cap() != 3 {
+		t.Fatal("fresh window state")
+	}
+	w.Push(1)
+	w.Push(2)
+	if w.Len() != 2 || !almost(w.Mean(), 1.5) {
+		t.Fatalf("partial window: len %d mean %g", w.Len(), w.Mean())
+	}
+	w.Push(3)
+	w.Push(10) // evicts 1
+	if w.Len() != 3 {
+		t.Fatalf("full window len %d", w.Len())
+	}
+	if !almost(w.Mean(), 5) {
+		t.Fatalf("rolling mean %g, want (2+3+10)/3", w.Mean())
+	}
+	if w.Min() != 2 {
+		t.Fatalf("min %g", w.Min())
+	}
+}
+
+func TestWindowFractionAtLeast(t *testing.T) {
+	w := NewWindow(4)
+	for _, v := range []float64{0.5, 0.9, 1.0, 0.8} {
+		w.Push(v)
+	}
+	if got := w.FractionAtLeast(0.9); !almost(got, 0.5) {
+		t.Fatalf("fraction >= 0.9: %g", got)
+	}
+}
+
+func TestWindowDegenerateSize(t *testing.T) {
+	w := NewWindow(0) // clamps to 1
+	w.Push(7)
+	w.Push(9)
+	if w.Len() != 1 || w.Mean() != 9 {
+		t.Fatalf("size-1 window: len %d mean %g", w.Len(), w.Mean())
+	}
+	if NewWindow(2).Min() != 0 {
+		t.Fatal("empty window min should be 0")
+	}
+}
+
+// Property: rolling mean equals the mean of the last min(n, pushes) values.
+func TestPropertyWindowMean(t *testing.T) {
+	f := func(raw []uint8, sizeRaw uint8) bool {
+		n := int(sizeRaw%10) + 1
+		w := NewWindow(n)
+		var all []float64
+		for _, r := range raw {
+			v := float64(r)
+			w.Push(v)
+			all = append(all, v)
+		}
+		if len(all) == 0 {
+			return w.Len() == 0
+		}
+		start := 0
+		if len(all) > n {
+			start = len(all) - n
+		}
+		return almost(w.Mean(), Mean(all[start:]))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSLOMonitor(t *testing.T) {
+	m := NewSLOMonitor(1.0, 0.9, 4, 0.75)
+	// Two conformant periods: window not yet full, no alarm.
+	m.Observe(0.95)
+	m.Observe(0.92)
+	if m.Alarming() {
+		t.Fatal("alarm before the window filled")
+	}
+	if !almost(m.Conformance(), 1) {
+		t.Fatalf("conformance %g", m.Conformance())
+	}
+	// Two violations: conformance 0.5 < 0.75 and the window is full.
+	m.Observe(0.5)
+	m.Observe(0.6)
+	if !almost(m.Conformance(), 0.5) {
+		t.Fatalf("conformance %g", m.Conformance())
+	}
+	if !m.Alarming() {
+		t.Fatal("expected alarm")
+	}
+	// Recovery: conformant periods push the violations out.
+	for i := 0; i < 4; i++ {
+		m.Observe(1.0)
+	}
+	if m.Alarming() {
+		t.Fatal("alarm should clear after recovery")
+	}
+	// Exactly at the SLO counts as met (Eq. 5 is >=).
+	m2 := NewSLOMonitor(1.0, 0.9, 1, 0.5)
+	m2.Observe(0.9)
+	if !almost(m2.Conformance(), 1) {
+		t.Fatal("boundary IPC should meet the SLO")
+	}
+}
+
+func TestSLOMonitorEmpty(t *testing.T) {
+	m := NewSLOMonitor(1, 0.9, 3, 0.9)
+	if m.Conformance() != 0 || m.Alarming() {
+		t.Fatal("empty monitor state")
+	}
+}

@@ -1,0 +1,61 @@
+package mrc
+
+import (
+	"testing"
+
+	"dicer/internal/cache"
+)
+
+func TestValidationCasesAgree(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 64 * 8 * 64, Ways: 8, LineBytes: 64, Clos: 1}
+	for _, vc := range DefaultValidationCases(cfg) {
+		measured, analytic, mae, err := vc.Validate(cfg, 60000, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", vc.Name, err)
+		}
+		if len(measured) != cfg.Ways || len(analytic) != cfg.Ways {
+			t.Fatalf("%s: curve lengths %d/%d", vc.Name, len(measured), len(analytic))
+		}
+		// The analytic model must track true LRU within a coarse band —
+		// it feeds a performance model, not a cache verifier.
+		if mae > 0.18 {
+			t.Errorf("%s: analytic/empirical MAE %.3f > 0.18\nmeasured %v\nanalytic %v",
+				vc.Name, mae, measured, analytic)
+		}
+		// Both curves must agree on the full-allocation endpoint within
+		// a looser band (compulsory warm-up effects land here).
+		if d := measured[cfg.Ways-1] - analytic[cfg.Ways-1]; d > 0.15 || d < -0.15 {
+			t.Errorf("%s: full-cache endpoints diverge: measured %.3f analytic %.3f",
+				vc.Name, measured[cfg.Ways-1], analytic[cfg.Ways-1])
+		}
+	}
+}
+
+func TestValidationRejectsOverfullMixture(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 64 * 8 * 64, Ways: 8, LineBytes: 64, Clos: 1}
+	vc := ValidationCase{Name: "bad", HotBytes: 4096, HotFrac: 0.8, StreamFrac: 0.5}
+	if _, _, _, err := vc.Validate(cfg, 1000, 1); err == nil {
+		t.Fatal("expected error for fractions > 1")
+	}
+}
+
+func TestValidationDeterministic(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 64 * 8 * 64, Ways: 8, LineBytes: 64, Clos: 1}
+	vc := DefaultValidationCases(cfg)[1]
+	m1, _, mae1, err := vc.Validate(cfg, 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, mae2, err := vc.Validate(cfg, 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae1 != mae2 {
+		t.Fatal("validation not deterministic")
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatal("measured curves differ across runs")
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package policy defines the co-location policy interface shared by the
+// baselines of the DICER paper (§2.2) and the DICER controller itself
+// (internal/core), plus the two baselines:
+//
+//   - Unmanaged (UM): no control at all — every group keeps the full
+//     capacity bit-mask, so HP and BEs contend freely for the LLC and the
+//     memory link.
+//   - Cache-Takeover (CT): the conservative static policy — HP receives
+//     all but one LLC way exclusively and every BE is confined to the one
+//     remaining way.
+//
+// Static(k) generalises CT to an arbitrary exclusive HP way count and is
+// used for the paper's Figure 3 static-partition sweep.
+//
+// Convention used across the repository: CLOS 0 is the high-priority
+// application, CLOS 1 holds all best-effort applications. Policies set
+// masks so that HP occupies the high-order ways and BEs the low-order
+// ways; DICER moves the boundary between them.
+package policy
+
+import (
+	"fmt"
+
+	"dicer/internal/cache"
+	"dicer/internal/resctrl"
+)
+
+// CLOS assignment convention.
+const (
+	HPClos = 0 // the high-priority application
+	BEClos = 1 // all best-effort applications
+)
+
+// Policy is a co-location policy: it installs an initial LLC allocation
+// and reacts (or not) to monitoring-period readings.
+type Policy interface {
+	// Name identifies the policy in reports ("UM", "CT", "DICER", ...).
+	Name() string
+	// Setup installs the initial allocation on sys.
+	Setup(sys resctrl.System) error
+	// Observe is invoked at the end of every monitoring period with the
+	// period's readings and may change the allocation for the next period.
+	Observe(sys resctrl.System, p resctrl.Period) error
+}
+
+// HPMask returns the CBM giving the HP the hpWays high-order ways of a
+// totalWays-way cache.
+func HPMask(totalWays, hpWays int) uint64 {
+	return cache.ContiguousMask(totalWays-hpWays, hpWays)
+}
+
+// BEMask returns the CBM giving the BEs the low-order ways left over when
+// the HP owns hpWays ways.
+func BEMask(totalWays, hpWays int) uint64 {
+	return cache.ContiguousMask(0, totalWays-hpWays)
+}
+
+// SplitWays installs the disjoint HP/BE partition with hpWays ways for the
+// HP. hpWays must leave at least one way for the BEs and use at least one
+// way itself.
+func SplitWays(sys resctrl.System, hpWays int) error {
+	total := sys.NumWays()
+	if hpWays < 1 || hpWays > total-1 {
+		return fmt.Errorf("policy: hp ways %d outside [1,%d]", hpWays, total-1)
+	}
+	if err := sys.SetCBM(HPClos, HPMask(total, hpWays)); err != nil {
+		return err
+	}
+	return sys.SetCBM(BEClos, BEMask(total, hpWays))
+}
+
+// Unmanaged is the UM baseline: full masks, no reaction.
+type Unmanaged struct{}
+
+// Name implements Policy.
+func (Unmanaged) Name() string { return "UM" }
+
+// Setup implements Policy.
+func (Unmanaged) Setup(sys resctrl.System) error {
+	full := cache.ContiguousMask(0, sys.NumWays())
+	for clos := 0; clos < sys.NumClos(); clos++ {
+		if err := sys.SetCBM(clos, full); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Observe implements Policy.
+func (Unmanaged) Observe(resctrl.System, resctrl.Period) error { return nil }
+
+// CacheTakeover is the CT baseline: HP gets all but one way, statically.
+type CacheTakeover struct{}
+
+// Name implements Policy.
+func (CacheTakeover) Name() string { return "CT" }
+
+// Setup implements Policy.
+func (CacheTakeover) Setup(sys resctrl.System) error {
+	return SplitWays(sys, sys.NumWays()-1)
+}
+
+// Observe implements Policy.
+func (CacheTakeover) Observe(resctrl.System, resctrl.Period) error { return nil }
+
+// Static is a fixed exclusive partition with HPWays ways for the HP.
+type Static struct {
+	HPWays int
+}
+
+// Name implements Policy.
+func (s Static) Name() string { return fmt.Sprintf("Static(%d)", s.HPWays) }
+
+// Setup implements Policy.
+func (s Static) Setup(sys resctrl.System) error { return SplitWays(sys, s.HPWays) }
+
+// Observe implements Policy.
+func (Static) Observe(resctrl.System, resctrl.Period) error { return nil }
+
+// Compile-time interface checks.
+var (
+	_ Policy = Unmanaged{}
+	_ Policy = CacheTakeover{}
+	_ Policy = Static{}
+)

@@ -1,0 +1,177 @@
+package policy
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"dicer/internal/app"
+	"dicer/internal/cache"
+	"dicer/internal/machine"
+	"dicer/internal/mrc"
+	"dicer/internal/resctrl"
+	"dicer/internal/sim"
+)
+
+func testSystem(t *testing.T) resctrl.System {
+	t.Helper()
+	r, err := sim.New(machine.Default(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := app.Profile{Name: "x", Suite: "t", Class: app.ClassMixed,
+		Phases: []app.Phase{{Name: "p", Instructions: 1e12, BaseCPI: 1, APKI: 5,
+			Curve: mrc.MustCurve(0.1, mrc.Component{Bytes: app.MB, Frac: 0.4})}}}
+	if err := r.Attach(0, HPClos, prof); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Attach(1, BEClos, prof); err != nil {
+		t.Fatal(err)
+	}
+	return resctrl.NewEmu(r, false)
+}
+
+func TestMaskHelpers(t *testing.T) {
+	if got := HPMask(20, 19); got != 0xffffe {
+		t.Fatalf("HPMask(20,19) = %#x, want 0xffffe", got)
+	}
+	if got := BEMask(20, 19); got != 0x00001 {
+		t.Fatalf("BEMask(20,19) = %#x, want 0x00001", got)
+	}
+	if got := HPMask(20, 5); got != 0xf8000 {
+		t.Fatalf("HPMask(20,5) = %#x, want 0xf8000", got)
+	}
+	if got := BEMask(20, 5); got != 0x07fff {
+		t.Fatalf("BEMask(20,5) = %#x, want 0x07fff", got)
+	}
+}
+
+// Property: HP and BE masks are always disjoint, contiguous, and together
+// cover the whole cache.
+func TestPropertyMasksPartition(t *testing.T) {
+	f := func(hpRaw, waysRaw uint8) bool {
+		ways := int(waysRaw%63) + 2
+		hp := int(hpRaw)%(ways-1) + 1
+		h := HPMask(ways, hp)
+		b := BEMask(ways, hp)
+		if h&b != 0 {
+			return false
+		}
+		full := cache.ContiguousMask(0, ways)
+		if h|b != full {
+			return false
+		}
+		return cache.CheckMask(h, ways) == nil && cache.CheckMask(b, ways) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitWays(t *testing.T) {
+	sys := testSystem(t)
+	if err := SplitWays(sys, 12); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.CBM(HPClos); got != HPMask(20, 12) {
+		t.Fatalf("HP mask %#x", got)
+	}
+	if got := sys.CBM(BEClos); got != BEMask(20, 12) {
+		t.Fatalf("BE mask %#x", got)
+	}
+	if err := SplitWays(sys, 0); err == nil {
+		t.Fatal("expected error for 0 HP ways")
+	}
+	if err := SplitWays(sys, 20); err == nil {
+		t.Fatal("expected error leaving no BE way")
+	}
+}
+
+func TestUnmanagedSetup(t *testing.T) {
+	sys := testSystem(t)
+	um := Unmanaged{}
+	if um.Name() != "UM" {
+		t.Fatalf("name %q", um.Name())
+	}
+	if err := um.Setup(sys); err != nil {
+		t.Fatal(err)
+	}
+	full := cache.ContiguousMask(0, 20)
+	if sys.CBM(HPClos) != full || sys.CBM(BEClos) != full {
+		t.Fatal("UM should leave all masks full")
+	}
+	if err := um.Observe(sys, resctrl.Period{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheTakeoverSetup(t *testing.T) {
+	sys := testSystem(t)
+	ct := CacheTakeover{}
+	if ct.Name() != "CT" {
+		t.Fatalf("name %q", ct.Name())
+	}
+	if err := ct.Setup(sys); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.CBM(HPClos); got != 0xffffe {
+		t.Fatalf("CT HP mask %#x, want 0xffffe (19 high ways)", got)
+	}
+	if got := sys.CBM(BEClos); got != 0x00001 {
+		t.Fatalf("CT BE mask %#x, want the single lowest way", got)
+	}
+}
+
+func TestStaticSetup(t *testing.T) {
+	sys := testSystem(t)
+	s := Static{HPWays: 7}
+	if s.Name() != "Static(7)" {
+		t.Fatalf("name %q", s.Name())
+	}
+	if err := s.Setup(sys); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.CBM(HPClos); got != HPMask(20, 7) {
+		t.Fatalf("static HP mask %#x", got)
+	}
+	if err := (Static{HPWays: 25}).Setup(sys); err == nil {
+		t.Fatal("expected error for oversized static partition")
+	}
+}
+
+// failingSystem errors on SetCBM for a chosen CLOS, to exercise policy
+// error propagation.
+type failingSystem struct {
+	resctrl.System
+	failClos int
+}
+
+func (f *failingSystem) SetCBM(clos int, mask uint64) error {
+	if clos == f.failClos {
+		return fmt.Errorf("injected failure for clos %d", clos)
+	}
+	return f.System.SetCBM(clos, mask)
+}
+
+func TestSplitWaysPropagatesErrors(t *testing.T) {
+	for _, failClos := range []int{HPClos, BEClos} {
+		sys := &failingSystem{System: testSystem(t), failClos: failClos}
+		if err := SplitWays(sys, 10); err == nil {
+			t.Errorf("failing clos %d: expected error", failClos)
+		}
+	}
+}
+
+func TestUnmanagedSetupPropagatesErrors(t *testing.T) {
+	sys := &failingSystem{System: testSystem(t), failClos: BEClos}
+	if err := (Unmanaged{}).Setup(sys); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCacheTakeoverSetupPropagatesErrors(t *testing.T) {
+	sys := &failingSystem{System: testSystem(t), failClos: HPClos}
+	if err := (CacheTakeover{}).Setup(sys); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("title", "A", "Long header", "C")
+	t.AddRow("x", "y", "z")
+	t.AddRowf("n", 1.23456, 42)
+	return t
+}
+
+func TestTableRendering(t *testing.T) {
+	out := sample().String()
+	if !strings.HasPrefix(out, "title\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "Long header") {
+		t.Fatalf("header row: %q", lines[1])
+	}
+	if !strings.Contains(lines[4], "1.235") {
+		t.Fatalf("float formatting: %q", lines[4])
+	}
+	// Columns aligned: all data rows at least as wide as the header row.
+	if len(lines[3]) < len(strings.TrimRight(lines[1], " ")) {
+		t.Fatalf("row narrower than header:\n%s", out)
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tbl := NewTable("", "A", "B")
+	tbl.AddRow("only")
+	tbl.AddRow("a", "b", "dropped")
+	if tbl.Rows[0][1] != "" {
+		t.Fatal("missing cell should be blank")
+	}
+	if len(tbl.Rows[1]) != 2 {
+		t.Fatal("extra cell should be dropped")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := NewTable("", "A", "B")
+	tbl.AddRow("plain", `needs "quote", comma`)
+	csv := tbl.CSV()
+	want := "A,B\nplain,\"needs \"\"quote\"\", comma\"\n"
+	if csv != want {
+		t.Fatalf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline length %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("sparkline endpoints %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 {
+		t.Fatal("flat series sparkline")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(12.345) != "12.3%" {
+		t.Fatalf("Pct = %q", Pct(12.345))
+	}
+	if F3(1.23456) != "1.235" {
+		t.Fatalf("F3 = %q", F3(1.23456))
+	}
+}
+
+func TestJSON(t *testing.T) {
+	tbl := NewTable("ti", "A", "B")
+	tbl.AddRow("1", "x")
+	out, err := tbl.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"title": "ti"`, `"A": "1"`, `"B": "x"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, out)
+		}
+	}
+}

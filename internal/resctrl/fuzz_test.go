@@ -1,0 +1,47 @@
+package resctrl
+
+import "testing"
+
+// FuzzParseSchemata checks the schemata parser never panics and that
+// accepted L3 lines round-trip through FormatSchemata.
+func FuzzParseSchemata(f *testing.F) {
+	for _, seed := range []string{
+		"L3:0=fffff;1=00001",
+		"L3:0=ffffe",
+		"MB:0=50",
+		"L3:0=0",
+		"L3:",
+		"L3",
+		":0=1",
+		"MB:0=999",
+		"L3:0=zz;1=1",
+		"L3:-1=1",
+		"L3:0=1;;1=2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		s, err := ParseSchemata(line, 20)
+		if err != nil {
+			return
+		}
+		out := FormatSchemata(s, 20)
+		s2, err := ParseSchemata(out, 20)
+		if err != nil {
+			t.Fatalf("formatted schemata %q (from %q) does not re-parse: %v", out, line, err)
+		}
+		if s.Resource != s2.Resource {
+			t.Fatalf("resource changed across round trip: %q vs %q", s.Resource, s2.Resource)
+		}
+		for id, mask := range s.Masks {
+			if s2.Masks[id] != mask {
+				t.Fatalf("mask %d changed across round trip: %x vs %x", id, mask, s2.Masks[id])
+			}
+		}
+		for id, pct := range s.Percent {
+			if s2.Percent[id] != pct {
+				t.Fatalf("percent %d changed across round trip", id)
+			}
+		}
+	})
+}

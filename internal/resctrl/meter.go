@@ -1,0 +1,119 @@
+package resctrl
+
+// Meter converts the cumulative counters a System exposes into per-period
+// readings — exactly what a userspace controller does with RDT: read the
+// MSRs, subtract the previous reading, divide by the period.
+type Meter struct {
+	sys  System
+	prev Counters
+}
+
+// PeriodCore is one core's activity over a monitoring period.
+type PeriodCore struct {
+	Core int
+	Clos int
+	Name string
+	IPC  float64
+}
+
+// PeriodGroup is one CLOS's activity over a monitoring period.
+type PeriodGroup struct {
+	Clos           int
+	CBM            uint64
+	OccupancyBytes float64 // instantaneous at period end
+	BandwidthGbps  float64 // average over the period
+}
+
+// Period is a complete monitoring-period reading.
+type Period struct {
+	Seconds   float64
+	Cores     []PeriodCore
+	Groups    []PeriodGroup
+	TotalGbps float64 // total memory bandwidth over the period
+}
+
+// NewMeter creates a Meter and takes the initial baseline reading.
+func NewMeter(sys System) *Meter {
+	return &Meter{sys: sys, prev: sys.Counters()}
+}
+
+// Sample reads the counters, returns the delta since the previous Sample
+// (or since construction), and advances the baseline.
+func (m *Meter) Sample() Period {
+	cur := m.sys.Counters()
+	dt := cur.Time - m.prev.Time
+	p := Period{Seconds: dt}
+
+	prevCores := make(map[int]CoreSample, len(m.prev.Cores))
+	for _, c := range m.prev.Cores {
+		prevCores[c.Core] = c
+	}
+	for _, c := range cur.Cores {
+		pc := prevCores[c.Core]
+		di := c.Instructions - pc.Instructions
+		dc := c.Cycles - pc.Cycles
+		ipc := 0.0
+		if dc > 0 {
+			ipc = di / dc
+		}
+		p.Cores = append(p.Cores, PeriodCore{Core: c.Core, Clos: c.Clos, Name: c.Name, IPC: ipc})
+	}
+
+	prevGroups := make(map[int]GroupSample, len(m.prev.Groups))
+	for _, g := range m.prev.Groups {
+		prevGroups[g.Clos] = g
+	}
+	for _, g := range cur.Groups {
+		pg := prevGroups[g.Clos]
+		bw := 0.0
+		if dt > 0 {
+			bw = (g.MemBytes - pg.MemBytes) * 8 / dt / 1e9
+		}
+		p.Groups = append(p.Groups, PeriodGroup{
+			Clos:           g.Clos,
+			CBM:            g.CBM,
+			OccupancyBytes: g.OccupancyBytes,
+			BandwidthGbps:  bw,
+		})
+		p.TotalGbps += bw
+	}
+
+	m.prev = cur
+	return p
+}
+
+// GroupBW returns the bandwidth of the given CLOS in the period, or 0.
+func (p Period) GroupBW(clos int) float64 {
+	for _, g := range p.Groups {
+		if g.Clos == clos {
+			return g.BandwidthGbps
+		}
+	}
+	return 0
+}
+
+// CoreIPC returns the IPC of the given core in the period, or 0.
+func (p Period) CoreIPC(core int) float64 {
+	for _, c := range p.Cores {
+		if c.Core == core {
+			return c.IPC
+		}
+	}
+	return 0
+}
+
+// ClosMeanIPC returns the mean IPC over cores assigned to clos, or 0.
+func (p Period) ClosMeanIPC(clos int) float64 {
+	var sum float64
+	var n int
+	for _, c := range p.Cores {
+		if c.Clos == clos {
+			sum += c.IPC
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

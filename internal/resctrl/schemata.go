@@ -1,0 +1,108 @@
+package resctrl
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dicer/internal/cache"
+)
+
+// Schemata is the parsed form of a resctrl schemata line for one resource.
+// The on-disk format written by Linux for an L3 CAT resource is
+//
+//	L3:0=fffff;1=00001
+//
+// mapping each cache domain id to a capacity bit-mask. This emulation
+// models a single-socket machine, so domain ids map to CLOS ids here: the
+// root group's schemata has one entry per CLOS. (Real resctrl puts each
+// group's mask in its own file; FS in this package does the same, with one
+// domain `0` per group. ParseSchemata/FormatSchemata handle both shapes.)
+type Schemata struct {
+	Resource string         // e.g. "L3", "MB"
+	Masks    map[int]uint64 // domain/CLOS id -> CBM
+	Percent  map[int]int    // for MB (MBA) lines: id -> throttle percent
+}
+
+// ParseSchemata parses one schemata line. Ways bounds mask validation;
+// pass 0 to skip CBM validation (e.g. for MB lines).
+func ParseSchemata(line string, ways int) (Schemata, error) {
+	line = strings.TrimSpace(line)
+	res, rest, ok := strings.Cut(line, ":")
+	if !ok {
+		return Schemata{}, fmt.Errorf("resctrl: schemata %q missing resource prefix", line)
+	}
+	s := Schemata{Resource: strings.TrimSpace(res)}
+	switch s.Resource {
+	case "L3":
+		s.Masks = map[int]uint64{}
+	case "MB":
+		s.Percent = map[int]int{}
+	default:
+		return Schemata{}, fmt.Errorf("resctrl: unsupported resource %q", s.Resource)
+	}
+	for _, field := range strings.Split(rest, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		idStr, valStr, ok := strings.Cut(field, "=")
+		if !ok {
+			return Schemata{}, fmt.Errorf("resctrl: malformed schemata field %q", field)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(idStr))
+		if err != nil || id < 0 {
+			return Schemata{}, fmt.Errorf("resctrl: bad domain id %q", idStr)
+		}
+		valStr = strings.TrimSpace(valStr)
+		if s.Resource == "MB" {
+			pct, err := strconv.Atoi(valStr)
+			if err != nil || pct < 1 || pct > 100 {
+				return Schemata{}, fmt.Errorf("resctrl: bad MB percent %q", valStr)
+			}
+			s.Percent[id] = pct
+			continue
+		}
+		mask, err := strconv.ParseUint(valStr, 16, 64)
+		if err != nil {
+			return Schemata{}, fmt.Errorf("resctrl: bad CBM %q: %v", valStr, err)
+		}
+		if ways > 0 {
+			if err := cache.CheckMask(mask, ways); err != nil {
+				return Schemata{}, err
+			}
+		}
+		s.Masks[id] = mask
+	}
+	return s, nil
+}
+
+// FormatSchemata renders a schemata line in resctrl's format, domains in
+// ascending order, CBMs zero-padded to the platform width.
+func FormatSchemata(s Schemata, ways int) string {
+	width := (ways + 3) / 4
+	if width == 0 {
+		width = 1
+	}
+	var ids []int
+	if s.Resource == "MB" {
+		for id := range s.Percent {
+			ids = append(ids, id)
+		}
+	} else {
+		for id := range s.Masks {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	parts := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if s.Resource == "MB" {
+			parts = append(parts, fmt.Sprintf("%d=%d", id, s.Percent[id]))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d=%0*x", id, width, s.Masks[id]))
+		}
+	}
+	return s.Resource + ":" + strings.Join(parts, ";")
+}

@@ -1,0 +1,148 @@
+package sim_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dicer/internal/app"
+	"dicer/internal/core"
+	"dicer/internal/machine"
+	"dicer/internal/policy"
+	"dicer/internal/resctrl"
+	"dicer/internal/sim"
+)
+
+// Full-stack fuzzing: random (seeded) workload populations driven through
+// the simulator, the RDT emulation and the DICER controller. Whatever the
+// workloads do, the invariants must hold: masks legal and disjoint,
+// counters monotone, metrics bounded, no errors or panics.
+
+func TestPropertyFullStackRandomWorkloads(t *testing.T) {
+	m := machine.Default()
+	f := func(seed uint64, beCountRaw uint8) bool {
+		beCount := int(beCountRaw%9) + 1
+		gen := app.NewGenerator(seed)
+		hp := gen.Profile("hp")
+		bes := gen.Population("be", beCount)
+
+		r, err := sim.New(m, 2)
+		if err != nil {
+			return false
+		}
+		if err := r.Attach(0, policy.HPClos, hp); err != nil {
+			return false
+		}
+		for i, be := range bes {
+			if err := r.Attach(1+i, policy.BEClos, be); err != nil {
+				return false
+			}
+		}
+		emu := resctrl.NewEmu(r, false)
+		ctl := core.MustNew(core.DefaultConfig())
+		if err := ctl.Setup(emu); err != nil {
+			return false
+		}
+		meter := resctrl.NewMeter(emu)
+
+		var prevInstr float64
+		for period := 0; period < 25; period++ {
+			for s := 0; s < 2; s++ {
+				r.Step(0.5)
+			}
+			p := meter.Sample()
+			if err := ctl.Observe(emu, p); err != nil {
+				return false
+			}
+			// Invariant: masks legal, disjoint, covering.
+			hpMask, beMask := emu.CBM(policy.HPClos), emu.CBM(policy.BEClos)
+			if hpMask == 0 || beMask == 0 || hpMask&beMask != 0 ||
+				hpMask|beMask != m.FullMask() {
+				return false
+			}
+			// Invariant: instructions monotone; IPCs plausible.
+			var total float64
+			for _, c := range emu.Counters().Cores {
+				total += c.Instructions
+				if c.IPC() < 0 || c.IPC() > 4 {
+					return false
+				}
+			}
+			if total < prevInstr {
+				return false
+			}
+			prevInstr = total
+			// Invariant: bandwidth non-negative, inflation >= 1.
+			if p.TotalGbps < 0 || r.Inflation() < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under any static disjoint partition, HP performance is
+// unaffected by which random BE population runs beside it when the link
+// is unsaturated (partition isolation at the model level). We enforce an
+// unsaturated setup by generating compute-class BEs only.
+func TestPropertyPartitionIsolationModelLevel(t *testing.T) {
+	m := machine.Default()
+	hpProf := app.MustByName("omnetpp1")
+	f := func(seed uint64) bool {
+		quietBEs := func(g *app.Generator, n int) []app.Profile {
+			out := make([]app.Profile, 0, n)
+			for len(out) < n {
+				p := g.Profile("be")
+				if p.Class == app.ClassCompute {
+					out = append(out, p)
+				}
+			}
+			return out
+		}
+		run := func(bes []app.Profile) float64 {
+			r, err := sim.New(m, 2)
+			if err != nil {
+				return -1
+			}
+			if err := r.Attach(0, policy.HPClos, hpProf); err != nil {
+				return -1
+			}
+			for i, be := range bes {
+				if err := r.Attach(1+i, policy.BEClos, be); err != nil {
+					return -1
+				}
+			}
+			if err := r.SetMask(0, policy.HPMask(20, 10)); err != nil {
+				return -1
+			}
+			if err := r.SetMask(1, policy.BEMask(20, 10)); err != nil {
+				return -1
+			}
+			for i := 0; i < 10; i++ {
+				r.Step(0.5)
+			}
+			if r.Inflation() > 1 {
+				return -2 // saturated: isolation does not apply
+			}
+			return r.Proc(0).IPC()
+		}
+		a := run(quietBEs(app.NewGenerator(seed), 4))
+		b := run(quietBEs(app.NewGenerator(seed+1000), 4))
+		if a == -1 || b == -1 {
+			return false
+		}
+		if a == -2 || b == -2 {
+			return true // saturation: skip this sample
+		}
+		diff := a - b
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 0.01*a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,531 @@
+// Package sim is the discrete-time co-location simulator: a set of cores
+// each running an application model (internal/app), a way-partitioned LLC
+// divided among classes of service (CLOS), and a shared memory link with
+// saturation (internal/membw).
+//
+// Each Step(dt) performs three coupled solves and then advances time:
+//
+//  1. Cache sharing. Ways are grouped into regions by which processes may
+//     fill them (a process may fill a way if its CLOS's capacity bit-mask
+//     covers it). Within a region, capacity is divided in proportion to
+//     each sharer's insertion pressure (miss rate × access rate), the
+//     steady state of random/LRU replacement under competing insertion
+//     streams. Exclusive regions (the common case under DICER/CT) devolve
+//     to "the owner gets everything". The pressure itself depends on the
+//     resulting share, so the division is computed by damped fixed-point
+//     iteration.
+//
+//  2. Bandwidth. Total memory traffic depends on per-process IPC, which
+//     depends on memory latency, which depends on total traffic. The
+//     equilibrium latency-inflation factor is found with membw.Link.Solve
+//     (monotone bisection). Optional per-CLOS bandwidth caps (the MBA
+//     extension, internal/ext) add a per-CLOS throttle factor solved the
+//     same way.
+//
+//  3. Advance. Every process runs dt seconds at its operating point,
+//     crossing phase boundaries and restarting on completion; cumulative
+//     per-core and per-CLOS counters are updated.
+//
+// The simulator exposes exactly the observables Intel RDT exposes —
+// per-core instructions/cycles, per-CLOS LLC occupancy (CMT) and memory
+// bandwidth (MBM) — which internal/resctrl wraps in a resctrl-like API.
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dicer/internal/app"
+	"dicer/internal/cache"
+	"dicer/internal/machine"
+	"dicer/internal/membw"
+)
+
+// shareIters bounds the pressure fixed-point iteration. Shares converge
+// geometrically under damping; 12 iterations put the residual well below
+// the model's own fidelity.
+const shareIters = 12
+
+// Runner simulates one server. It is not safe for concurrent use; run one
+// Runner per goroutine (experiments do exactly that).
+type Runner struct {
+	m     machine.Machine
+	masks []uint64 // per-CLOS capacity bit-mask
+	procs []*slot
+	caps  []float64 // per-CLOS bandwidth cap in GBps (0 = uncapped)
+
+	time float64
+
+	// Scratch buffers reused across Steps to keep the hot path
+	// allocation-free.
+	shares   []float64
+	pressure []float64
+
+	// Cumulative per-CLOS memory traffic in bytes.
+	closBytes []float64
+
+	// Last solved operating point, for inspection.
+	lastInflation float64
+	lastUtil      float64
+}
+
+// slot binds a process to a core and CLOS.
+type slot struct {
+	core   int
+	clos   int
+	proc   *app.Proc
+	parked bool // parked cores neither run nor contend (thread packing)
+}
+
+// New creates a Runner for machine m with closCount classes of service.
+// All masks start full (hardware reset state).
+func New(m machine.Machine, closCount int) (*Runner, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if closCount <= 0 {
+		return nil, fmt.Errorf("sim: non-positive CLOS count %d", closCount)
+	}
+	r := &Runner{
+		m:         m,
+		masks:     make([]uint64, closCount),
+		caps:      make([]float64, closCount),
+		closBytes: make([]float64, closCount),
+	}
+	for i := range r.masks {
+		r.masks[i] = m.FullMask()
+	}
+	return r, nil
+}
+
+// Machine returns the simulated platform.
+func (r *Runner) Machine() machine.Machine { return r.m }
+
+// Attach starts an instance of prof on the given core under the given
+// CLOS. Each core holds at most one process.
+func (r *Runner) Attach(core, clos int, prof app.Profile) error {
+	if core < 0 || core >= r.m.Cores {
+		return fmt.Errorf("sim: core %d out of range [0,%d)", core, r.m.Cores)
+	}
+	if clos < 0 || clos >= len(r.masks) {
+		return fmt.Errorf("sim: clos %d out of range [0,%d)", clos, len(r.masks))
+	}
+	for _, s := range r.procs {
+		if s.core == core {
+			return fmt.Errorf("sim: core %d already occupied", core)
+		}
+	}
+	if err := prof.Validate(); err != nil {
+		return err
+	}
+	r.procs = append(r.procs, &slot{core: core, clos: clos, proc: app.NewProc(prof)})
+	r.shares = make([]float64, len(r.procs))
+	r.pressure = make([]float64, len(r.procs))
+	return nil
+}
+
+// SetMask installs a capacity bit-mask for clos (CAT semantics: non-zero,
+// contiguous, within the implemented ways).
+func (r *Runner) SetMask(clos int, mask uint64) error {
+	if clos < 0 || clos >= len(r.masks) {
+		return fmt.Errorf("sim: clos %d out of range [0,%d)", clos, len(r.masks))
+	}
+	if err := cache.CheckMask(mask, r.m.LLCWays); err != nil {
+		return err
+	}
+	r.masks[clos] = mask
+	return nil
+}
+
+// Mask returns the current capacity bit-mask of clos.
+func (r *Runner) Mask(clos int) uint64 { return r.masks[clos] }
+
+// NumClos returns the number of classes of service.
+func (r *Runner) NumClos() int { return len(r.masks) }
+
+// SetBWCap sets a per-CLOS memory-bandwidth cap in Gbps (the MBA
+// extension); 0 removes the cap.
+func (r *Runner) SetBWCap(clos int, gbps float64) error {
+	if clos < 0 || clos >= len(r.caps) {
+		return fmt.Errorf("sim: clos %d out of range [0,%d)", clos, len(r.caps))
+	}
+	if gbps < 0 {
+		return fmt.Errorf("sim: negative bandwidth cap %g", gbps)
+	}
+	r.caps[clos] = gbps
+	return nil
+}
+
+// SetCoreParked parks or unparks a core. A parked core's process is
+// suspended: it retires no instructions, exerts no cache pressure and
+// consumes no bandwidth until unparked. This models the thread-packing
+// actuator that the paper's §6 BE-count extension needs.
+func (r *Runner) SetCoreParked(core int, parked bool) error {
+	for _, s := range r.procs {
+		if s.core == core {
+			s.parked = parked
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: no process on core %d", core)
+}
+
+// CoreParked reports whether the core is parked.
+func (r *Runner) CoreParked(core int) bool {
+	for _, s := range r.procs {
+		if s.core == core {
+			return s.parked
+		}
+	}
+	return false
+}
+
+// Time returns the simulated time in seconds.
+func (r *Runner) Time() float64 { return r.time }
+
+// Proc returns the process attached to core, or nil.
+func (r *Runner) Proc(core int) *app.Proc {
+	for _, s := range r.procs {
+		if s.core == core {
+			return s.proc
+		}
+	}
+	return nil
+}
+
+// solveShares computes the cache capacity available to each process given
+// the current masks, via pressure-proportional division of way regions.
+// Results land in r.shares (bytes per process, indexed like r.procs).
+func (r *Runner) solveShares() {
+	n := len(r.procs)
+	if n == 0 {
+		return
+	}
+	wayBytes := r.m.WayBytes()
+
+	// Group ways into regions keyed by sharer signature. With <=64 procs a
+	// bitmask over procs identifies a region.
+	type region struct {
+		sharers  uint64
+		capacity float64
+	}
+	regions := make(map[uint64]*region, 4)
+	for w := 0; w < r.m.LLCWays; w++ {
+		var sig uint64
+		for i, s := range r.procs {
+			if !s.parked && r.masks[s.clos]&(1<<uint(w)) != 0 {
+				sig |= 1 << uint(i)
+			}
+		}
+		if sig == 0 {
+			continue // way no process can fill: idle capacity
+		}
+		reg := regions[sig]
+		if reg == nil {
+			reg = &region{sharers: sig}
+			regions[sig] = reg
+		}
+		reg.capacity += wayBytes
+	}
+
+	// Initial pressure: evaluate each process at an equal split of its
+	// reachable capacity.
+	reach := make([]float64, n)
+	sharerCount := make(map[uint64]int, len(regions))
+	for sig, reg := range regions {
+		cnt := bits.OnesCount64(sig)
+		sharerCount[sig] = cnt
+		for i := 0; i < n; i++ {
+			if sig&(1<<uint(i)) != 0 {
+				reach[i] += reg.capacity / float64(cnt)
+			}
+		}
+	}
+	bf := r.coLocFactor()
+	caps := make([]float64, n)
+	for i, s := range r.procs {
+		if s.parked {
+			r.pressure[i] = 0
+			continue
+		}
+		r.pressure[i] = touchPressure(r.m, s.proc, reach[i], bf)
+		// The most capacity a process can ever make use of: its resident
+		// demand when offered everything it can reach. Streaming traffic
+		// churns, so OccupancyDemand returns the full offer for apps with
+		// a streaming fraction; bounded apps cap at their footprint.
+		caps[i] = s.proc.Perf(r.m, float64(r.m.LLCBytes), 1, bf).OccupancyB
+	}
+
+	// Damped fixed point: water-fill each region by touch rate (hits keep
+	// LRU lines fresh, so retention competition follows total access
+	// intensity, not miss intensity), capped by footprint; re-evaluate
+	// touch rates at the resulting shares.
+	active := make([]int, 0, n)
+	alloc := make([]float64, n)
+	for iter := 0; iter < shareIters; iter++ {
+		for i := range r.shares {
+			r.shares[i] = 0
+		}
+		for sig, reg := range regions {
+			if sharerCount[sig] == 1 {
+				// Exclusive region: owner takes all. (Index of the single
+				// set bit.)
+				i := bits.TrailingZeros64(sig)
+				r.shares[i] += reg.capacity
+				continue
+			}
+			active = active[:0]
+			for i := 0; i < n; i++ {
+				if sig&(1<<uint(i)) != 0 {
+					active = append(active, i)
+					alloc[i] = 0
+				}
+			}
+			waterfill(reg.capacity, r.pressure, caps, active, alloc)
+			for _, i := range active {
+				r.shares[i] += alloc[i]
+			}
+		}
+		for i, s := range r.procs {
+			if s.parked {
+				continue
+			}
+			p := touchPressure(r.m, s.proc, r.shares[i], bf)
+			r.pressure[i] = 0.5*r.pressure[i] + 0.5*p
+		}
+	}
+}
+
+// waterfill divides capacity among the active processes in proportion to
+// their weights, capping each allocation at caps[i] and redistributing the
+// excess to the remaining processes. Results are written into alloc at the
+// active indices.
+func waterfill(capacity float64, weights, caps []float64, active []int, alloc []float64) {
+	remaining := capacity
+	live := append([]int(nil), active...)
+	for len(live) > 0 && remaining > 1e-9 {
+		var totW float64
+		for _, i := range live {
+			totW += weights[i]
+		}
+		// With no weight information left (all-zero weights), fall back to
+		// an even split — still honouring caps via the same loop.
+		w := func(i int) float64 {
+			if totW <= 0 {
+				return 1
+			}
+			return weights[i]
+		}
+		tw := totW
+		if tw <= 0 {
+			tw = float64(len(live))
+		}
+		capped := live[:0]
+		progressed := false
+		budget := remaining
+		for _, i := range live {
+			t := budget * w(i) / tw
+			headroom := caps[i] - alloc[i]
+			if headroom <= t {
+				alloc[i] += headroom
+				remaining -= headroom
+				progressed = true
+			} else {
+				capped = append(capped, i)
+			}
+		}
+		live = capped
+		if !progressed {
+			// Nobody hit a cap: distribute proportionally and finish.
+			for _, i := range live {
+				alloc[i] += remaining * w(i) / tw
+			}
+			return
+		}
+	}
+}
+
+// touchPressure is the rate at which a process touches LLC lines at the
+// given capacity: accesses per second (hits refresh LRU recency just as
+// misses insert lines, so retention competition follows total access
+// intensity), evaluated at unit latency inflation — the share solve is
+// about cache geometry, not transient bandwidth state.
+func touchPressure(m machine.Machine, pr *app.Proc, capacity, baseFactor float64) float64 {
+	perf := pr.Perf(m, capacity, 1, baseFactor)
+	return perf.IPC * m.CyclesPerSecond() * pr.Phase().APKI / 1000
+}
+
+// Step advances the simulation by dt seconds.
+func (r *Runner) Step(dt float64) {
+	if dt <= 0 {
+		panic(fmt.Sprintf("sim: non-positive step %g", dt))
+	}
+	if len(r.procs) == 0 {
+		r.time += dt
+		return
+	}
+
+	r.solveShares()
+	bf := r.coLocFactor()
+
+	// Per-CLOS MBA throttle factors (1 = no throttle). A cap behaves like
+	// extra latency for that CLOS's processes only: throttle t such that
+	// the CLOS demand at combined inflation f*t meets the cap.
+	throttle := func(clos int, f float64) float64 {
+		cap := r.caps[clos]
+		if cap <= 0 {
+			return 1
+		}
+		demand := func(t float64) float64 {
+			var sum float64
+			for i, s := range r.procs {
+				if s.clos == clos && !s.parked {
+					sum += membw.BytesToGbps(s.proc.Perf(r.m, r.shares[i], f*t, bf).BytesPerSec, 1)
+				}
+			}
+			return sum
+		}
+		if demand(1) <= cap {
+			return 1
+		}
+		lo, hi := 1.0, 64.0
+		for i := 0; i < 40; i++ {
+			mid := (lo + hi) / 2
+			if demand(mid) > cap {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return (lo + hi) / 2
+	}
+
+	// Global bandwidth fixed point over the latency-inflation factor.
+	demandAt := func(f float64) float64 {
+		var total float64
+		for i, s := range r.procs {
+			if s.parked {
+				continue
+			}
+			t := throttle(s.clos, f)
+			total += membw.BytesToGbps(s.proc.Perf(r.m, r.shares[i], f*t, bf).BytesPerSec, 1)
+		}
+		return total
+	}
+	util, inflation := r.m.Link.Solve(demandAt)
+	r.lastInflation = inflation
+	r.lastUtil = util
+
+	// Advance processes at the solved operating point.
+	for i, s := range r.procs {
+		if s.parked {
+			// A parked core makes no progress but wall-clock time still
+			// passes: charge empty cycles so cumulative IPC reflects the
+			// lost throughput (this is what the EFU metric must see).
+			s.proc.Cycles += dt * r.m.CyclesPerSecond()
+			continue
+		}
+		t := throttle(s.clos, inflation)
+		before := s.proc.MemBytes
+		s.proc.Advance(r.m, r.shares[i], inflation*t, bf, dt)
+		r.closBytes[s.clos] += s.proc.MemBytes - before
+	}
+	r.time += dt
+}
+
+// coLocFactor returns the base-CPI co-location factor for the current
+// process population.
+func (r *Runner) coLocFactor() float64 {
+	active := 0
+	for _, s := range r.procs {
+		if !s.parked {
+			active++
+		}
+	}
+	return r.m.CoLocFactor(active - 1)
+}
+
+// Inflation returns the memory-latency inflation factor of the last Step.
+func (r *Runner) Inflation() float64 { return r.lastInflation }
+
+// Utilisation returns the memory-link utilisation of the last Step.
+func (r *Runner) Utilisation() float64 { return r.lastUtil }
+
+// CoreCounters are the cumulative per-core performance counters.
+type CoreCounters struct {
+	Core         int
+	Clos         int
+	Name         string  // profile name, for reporting
+	Instructions float64 // retired instructions
+	Cycles       float64 // elapsed core cycles
+	Completions  int     // whole-profile completions (restarts)
+}
+
+// IPC returns cumulative instructions per cycle.
+func (c CoreCounters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return c.Instructions / c.Cycles
+}
+
+// ClosCounters are the per-CLOS RDT-style monitoring counters.
+type ClosCounters struct {
+	Clos           int
+	MemBytes       float64 // cumulative memory traffic (MBM-style)
+	OccupancyBytes float64 // instantaneous LLC occupancy (CMT-style)
+	Mask           uint64  // current capacity bit-mask
+}
+
+// Snapshot is a consistent view of all counters at the current time.
+type Snapshot struct {
+	Time  float64
+	Cores []CoreCounters
+	Clos  []ClosCounters
+}
+
+// Snapshot captures all counters. Occupancy is the model's steady-state
+// estimate for the current allocation: the sum over the CLOS's processes
+// of the bytes they keep resident in their current share.
+func (r *Runner) Snapshot() Snapshot {
+	snap := Snapshot{Time: r.time}
+	if len(r.procs) > 0 {
+		r.solveShares()
+	}
+	occ := make([]float64, len(r.masks))
+	bf := r.coLocFactor()
+	for i, s := range r.procs {
+		if !s.parked {
+			perf := s.proc.Perf(r.m, r.shares[i], r.lastInflationOr1(), bf)
+			o := perf.OccupancyB
+			if o > r.shares[i] {
+				o = r.shares[i]
+			}
+			occ[s.clos] += o
+		}
+		snap.Cores = append(snap.Cores, CoreCounters{
+			Core:         s.core,
+			Clos:         s.clos,
+			Name:         s.proc.Profile.Name,
+			Instructions: s.proc.Instructions,
+			Cycles:       s.proc.Cycles,
+			Completions:  s.proc.Completions,
+		})
+	}
+	for c := range r.masks {
+		snap.Clos = append(snap.Clos, ClosCounters{
+			Clos:           c,
+			MemBytes:       r.closBytes[c],
+			OccupancyBytes: occ[c],
+			Mask:           r.masks[c],
+		})
+	}
+	return snap
+}
+
+func (r *Runner) lastInflationOr1() float64 {
+	if r.lastInflation < 1 {
+		return 1
+	}
+	return r.lastInflation
+}

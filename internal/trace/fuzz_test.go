@@ -1,0 +1,47 @@
+package trace
+
+import "testing"
+
+// FuzzParseSpec checks that arbitrary spec strings never panic and that
+// accepted specs yield working generators. `go test` exercises the seed
+// corpus; `go test -fuzz=FuzzParseSpec ./internal/trace` explores further.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"loop:1m",
+		"stream",
+		"strided:64k:128",
+		"zipf:8m:0.9",
+		"mix(loop:1m@0.5,stream@0.2,zipf:4m:1.2@0.3)",
+		"mix(mix(loop:64k@1,loop:128k@1)@0.6,stream@0.4)",
+		"",
+		"loop",
+		"mix(",
+		"mix()",
+		"zipf:0",
+		"loop:999999999g",
+		"mix(loop:1m@-1)",
+		"mix(loop:1m@0.5", // unbalanced
+	} {
+		f.Add(seed, uint64(1))
+	}
+	f.Fuzz(func(t *testing.T, spec string, seed uint64) {
+		g, err := ParseSpec(spec, seed)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		if g == nil {
+			t.Fatalf("ParseSpec(%q) returned nil generator without error", spec)
+		}
+		for i := 0; i < 50; i++ {
+			if a := g.Next(); a%LineBytes != 0 {
+				t.Fatalf("spec %q produced unaligned address %d", spec, a)
+			}
+		}
+		g.Reset()
+		first := g.Next()
+		g.Reset()
+		if again := g.Next(); again != first {
+			t.Fatalf("spec %q not deterministic after Reset", spec)
+		}
+	})
+}

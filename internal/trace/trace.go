@@ -1,0 +1,357 @@
+// Package trace provides deterministic synthetic memory-address stream
+// generators used to drive the trace-based LLC simulator (internal/cache)
+// and to validate the analytic miss-ratio curves (internal/mrc).
+//
+// The generators produce cache-line granular addresses (the low bits inside
+// a line are irrelevant to an LLC model and are always zero). All generators
+// are deterministic: the same construction parameters and seed yield the
+// same stream, which keeps every experiment in the repository reproducible.
+//
+// Generator families mirror the qualitative access patterns of the SPEC CPU
+// 2006 and PARSEC workloads that the DICER paper evaluates on:
+//
+//   - Loop: repeated sequential sweeps over a fixed working set
+//     (dense numerical kernels, e.g. milc, lbm inner loops).
+//   - Stream: monotonically increasing addresses that never reuse a line
+//     (pure streaming, e.g. libquantum, stream-like phases of bwaves).
+//   - Strided: sequential sweeps with a non-unit stride (column-major
+//     array walks, stencil codes).
+//   - Zipf: random accesses over a working set with a Zipf popularity skew
+//     (pointer-heavy codes such as mcf, omnetpp, xalancbmk).
+//   - Mix: a weighted interleaving of other generators, which is how the
+//     multi-component working-set mixtures of internal/app are realised as
+//     concrete traces.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LineBytes is the cache-line size assumed by all generators. Generators
+// emit addresses that are multiples of LineBytes.
+const LineBytes = 64
+
+// Generator produces an infinite, deterministic stream of memory addresses.
+type Generator interface {
+	// Next returns the next address in the stream.
+	Next() uint64
+	// Reset rewinds the generator to its initial state.
+	Reset()
+	// Footprint returns the total number of distinct bytes the generator
+	// can touch (0 means unbounded, e.g. for Stream).
+	Footprint() uint64
+}
+
+// rng is a splitmix64 pseudo-random generator. It is tiny, fast, of high
+// enough quality for workload synthesis, and — unlike math/rand's global
+// state — trivially reproducible and allocation free.
+type rng struct {
+	state uint64
+	seed  uint64
+}
+
+func newRNG(seed uint64) *rng { return &rng{state: seed, seed: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) reset() { r.state = r.seed }
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform value in [0, n). n must be > 0.
+func (r *rng) intn(n uint64) uint64 {
+	if n == 0 {
+		panic("trace: intn(0)")
+	}
+	return r.next() % n
+}
+
+// Loop sweeps sequentially over a working set of Size bytes, wrapping back
+// to Base when the end is reached. Every line in the working set is touched
+// once per sweep, which gives the classic "all hits if the cache covers the
+// working set, all misses otherwise" LRU behaviour.
+type Loop struct {
+	Base uint64 // starting byte address (rounded down to a line)
+	Size uint64 // working-set size in bytes
+
+	pos uint64
+}
+
+// NewLoop returns a Loop generator over [base, base+size).
+func NewLoop(base, size uint64) (*Loop, error) {
+	if size < LineBytes {
+		return nil, fmt.Errorf("trace: loop working set %d smaller than one line", size)
+	}
+	return &Loop{Base: base &^ (LineBytes - 1), Size: size}, nil
+}
+
+// Next implements Generator.
+func (l *Loop) Next() uint64 {
+	a := l.Base + l.pos
+	l.pos += LineBytes
+	if l.pos >= l.Size {
+		l.pos = 0
+	}
+	return a
+}
+
+// Reset implements Generator.
+func (l *Loop) Reset() { l.pos = 0 }
+
+// Footprint implements Generator.
+func (l *Loop) Footprint() uint64 { return l.Size }
+
+// Stream produces monotonically increasing addresses with no reuse. It
+// models pure streaming traffic: every access is a compulsory miss in any
+// finite cache.
+type Stream struct {
+	Base uint64
+
+	pos uint64
+}
+
+// NewStream returns a Stream generator starting at base.
+func NewStream(base uint64) *Stream {
+	return &Stream{Base: base &^ (LineBytes - 1)}
+}
+
+// Next implements Generator.
+func (s *Stream) Next() uint64 {
+	a := s.Base + s.pos
+	s.pos += LineBytes
+	return a
+}
+
+// Reset implements Generator.
+func (s *Stream) Reset() { s.pos = 0 }
+
+// Footprint implements Generator. Stream is unbounded, so it reports 0.
+func (s *Stream) Footprint() uint64 { return 0 }
+
+// Strided sweeps over a working set with a fixed stride, wrapping around.
+// A stride that is a multiple of the line size touches a subset of lines on
+// each pass; strides smaller than a line degrade to a Loop.
+type Strided struct {
+	Base   uint64
+	Size   uint64
+	Stride uint64
+
+	pos uint64
+}
+
+// NewStrided returns a Strided generator.
+func NewStrided(base, size, stride uint64) (*Strided, error) {
+	if size < LineBytes {
+		return nil, fmt.Errorf("trace: strided working set %d smaller than one line", size)
+	}
+	if stride == 0 {
+		return nil, errors.New("trace: zero stride")
+	}
+	return &Strided{Base: base &^ (LineBytes - 1), Size: size, Stride: stride}, nil
+}
+
+// Next implements Generator.
+func (g *Strided) Next() uint64 {
+	a := (g.Base + g.pos) &^ (LineBytes - 1)
+	g.pos += g.Stride
+	if g.pos >= g.Size {
+		g.pos %= g.Size
+	}
+	return a
+}
+
+// Reset implements Generator.
+func (g *Strided) Reset() { g.pos = 0 }
+
+// Footprint implements Generator.
+func (g *Strided) Footprint() uint64 { return g.Size }
+
+// Zipf draws random line addresses from a working set with a Zipf(s)
+// popularity distribution over lines: line k is accessed with probability
+// proportional to 1/(k+1)^s. s=0 degrades to uniform random.
+//
+// The implementation uses inverse-transform sampling over a precomputed
+// cumulative table when the working set is small, and a two-level
+// approximation (hot head table + uniform tail) when it is large, keeping
+// construction O(min(lines, maxTable)).
+type Zipf struct {
+	Base uint64
+	Size uint64
+	S    float64
+
+	lines    uint64
+	headCum  []float64 // cumulative probability of the first len(headCum) lines
+	headMass float64   // total probability mass of the head
+	r        *rng
+}
+
+// maxZipfTable bounds the size of the explicit cumulative table.
+const maxZipfTable = 1 << 16
+
+// NewZipf returns a Zipf generator over a working set of size bytes with
+// skew s, seeded deterministically with seed.
+func NewZipf(base, size uint64, s float64, seed uint64) (*Zipf, error) {
+	if size < LineBytes {
+		return nil, fmt.Errorf("trace: zipf working set %d smaller than one line", size)
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("trace: negative zipf skew %g", s)
+	}
+	z := &Zipf{
+		Base:  base &^ (LineBytes - 1),
+		Size:  size,
+		S:     s,
+		lines: size / LineBytes,
+		r:     newRNG(seed),
+	}
+	head := z.lines
+	if head > maxZipfTable {
+		head = maxZipfTable
+	}
+	z.headCum = make([]float64, head)
+	var total float64
+	// Normalising constant over the head; the tail (if any) is modelled as
+	// uniform with the density of the last head entry.
+	for k := uint64(0); k < head; k++ {
+		total += zipfWeight(k, s)
+		z.headCum[k] = total
+	}
+	tailPerLine := zipfWeight(head-1, s)
+	tailMass := tailPerLine * float64(z.lines-head)
+	grand := total + tailMass
+	for k := range z.headCum {
+		z.headCum[k] /= grand
+	}
+	z.headMass = total / grand
+	return z, nil
+}
+
+func zipfWeight(k uint64, s float64) float64 {
+	if s == 0 {
+		return 1
+	}
+	return math.Pow(float64(k+1), -s)
+}
+
+// Next implements Generator.
+func (z *Zipf) Next() uint64 {
+	u := z.r.float64()
+	var line uint64
+	if u < z.headMass || uint64(len(z.headCum)) == z.lines {
+		// Binary search the cumulative head table.
+		lo, hi := 0, len(z.headCum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if z.headCum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		line = uint64(lo)
+	} else {
+		// Uniform over the tail.
+		tail := z.lines - uint64(len(z.headCum))
+		line = uint64(len(z.headCum)) + z.r.intn(tail)
+	}
+	return z.Base + line*LineBytes
+}
+
+// Reset implements Generator.
+func (z *Zipf) Reset() { z.r.reset() }
+
+// Footprint implements Generator.
+func (z *Zipf) Footprint() uint64 { return z.Size }
+
+// Component pairs a Generator with a selection weight for use in a Mix.
+type Component struct {
+	Gen    Generator
+	Weight float64
+}
+
+// Mix interleaves several generators, choosing the source of each access at
+// random in proportion to the component weights. This realises multi-level
+// working-set mixtures ("a hot 256 KiB array plus a warm 8 MiB table plus a
+// streaming input") as a single address stream.
+type Mix struct {
+	comps []Component
+	cum   []float64
+	r     *rng
+}
+
+// NewMix builds a Mix from the given components. Weights must be positive.
+func NewMix(seed uint64, comps ...Component) (*Mix, error) {
+	if len(comps) == 0 {
+		return nil, errors.New("trace: empty mix")
+	}
+	m := &Mix{comps: comps, cum: make([]float64, len(comps)), r: newRNG(seed)}
+	var total float64
+	for i, c := range comps {
+		if c.Weight <= 0 {
+			return nil, fmt.Errorf("trace: component %d has non-positive weight %g", i, c.Weight)
+		}
+		if c.Gen == nil {
+			return nil, fmt.Errorf("trace: component %d has nil generator", i)
+		}
+		total += c.Weight
+		m.cum[i] = total
+	}
+	for i := range m.cum {
+		m.cum[i] /= total
+	}
+	return m, nil
+}
+
+// Next implements Generator.
+func (m *Mix) Next() uint64 {
+	u := m.r.float64()
+	for i, c := range m.cum {
+		if u < c || i == len(m.cum)-1 {
+			return m.comps[i].Gen.Next()
+		}
+	}
+	return m.comps[len(m.comps)-1].Gen.Next()
+}
+
+// Reset implements Generator.
+func (m *Mix) Reset() {
+	m.r.reset()
+	for _, c := range m.comps {
+		c.Gen.Reset()
+	}
+}
+
+// Footprint implements Generator. It is the sum of component footprints and
+// reports 0 (unbounded) if any component is unbounded.
+func (m *Mix) Footprint() uint64 {
+	var total uint64
+	for _, c := range m.comps {
+		f := c.Gen.Footprint()
+		if f == 0 {
+			return 0
+		}
+		total += f
+	}
+	return total
+}
+
+// Collect drains n addresses from g into a freshly allocated slice. It is a
+// convenience for tests and for feeding the cache simulator.
+func Collect(g Generator, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

@@ -1,0 +1,326 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoopCyclesThroughWorkingSet(t *testing.T) {
+	l, err := NewLoop(0, 4*LineBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 64, 128, 192, 0, 64}
+	for i, w := range want {
+		if got := l.Next(); got != w {
+			t.Fatalf("access %d: got %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLoopRejectsTinyWorkingSet(t *testing.T) {
+	if _, err := NewLoop(0, LineBytes-1); err == nil {
+		t.Fatal("expected error for sub-line working set")
+	}
+}
+
+func TestLoopBaseAlignment(t *testing.T) {
+	l, err := NewLoop(100, 2*LineBytes) // base rounds down to 64
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Next(); got != 64 {
+		t.Fatalf("base not line-aligned: got %d", got)
+	}
+}
+
+func TestLoopFootprint(t *testing.T) {
+	l, _ := NewLoop(0, 1<<20)
+	if got := l.Footprint(); got != 1<<20 {
+		t.Fatalf("footprint = %d, want %d", got, 1<<20)
+	}
+}
+
+func TestStreamNeverRepeats(t *testing.T) {
+	s := NewStream(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		a := s.Next()
+		if seen[a] {
+			t.Fatalf("stream repeated address %d", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestStreamMonotone(t *testing.T) {
+	s := NewStream(1 << 30)
+	prev := s.Next()
+	for i := 0; i < 1000; i++ {
+		a := s.Next()
+		if a <= prev {
+			t.Fatalf("stream not monotone: %d after %d", a, prev)
+		}
+		prev = a
+	}
+}
+
+func TestStreamUnboundedFootprint(t *testing.T) {
+	if got := NewStream(0).Footprint(); got != 0 {
+		t.Fatalf("stream footprint = %d, want 0 (unbounded)", got)
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	s := NewStream(0)
+	first := s.Next()
+	s.Next()
+	s.Reset()
+	if got := s.Next(); got != first {
+		t.Fatalf("reset did not rewind: got %d, want %d", got, first)
+	}
+}
+
+func TestStridedVisitsSubset(t *testing.T) {
+	g, err := NewStrided(0, 8*LineBytes, 2*LineBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < 16; i++ {
+		seen[g.Next()] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("stride-2 over 8 lines should touch 4 lines, touched %d", len(seen))
+	}
+}
+
+func TestStridedRejectsZeroStride(t *testing.T) {
+	if _, err := NewStrided(0, 1<<20, 0); err == nil {
+		t.Fatal("expected error for zero stride")
+	}
+}
+
+func TestStridedStaysInFootprint(t *testing.T) {
+	g, err := NewStrided(0, 1<<16, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if a := g.Next(); a >= 1<<16 {
+			t.Fatalf("strided escaped working set: %d", a)
+		}
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	z, err := NewZipf(1<<20, 1<<20, 1.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		a := z.Next()
+		if a < 1<<20 || a >= 2<<20 {
+			t.Fatalf("zipf out of range: %d", a)
+		}
+		if a%LineBytes != 0 {
+			t.Fatalf("zipf not line aligned: %d", a)
+		}
+	}
+}
+
+func TestZipfSkewConcentratesAccesses(t *testing.T) {
+	z, err := NewZipf(0, 1<<20, 1.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	headLines := uint64(16)
+	head := 0
+	for i := 0; i < n; i++ {
+		if z.Next()/LineBytes < headLines {
+			head++
+		}
+	}
+	// With s=1.2 over 16384 lines, the first 16 lines should capture far
+	// more than their uniform share (16/16384 ≈ 0.1%).
+	if frac := float64(head) / n; frac < 0.05 {
+		t.Fatalf("zipf head fraction %.4f, want > 0.05", frac)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z, err := NewZipf(0, 64*LineBytes, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[uint64]int)
+	const n = 64 * 1000
+	for i := 0; i < n; i++ {
+		counts[z.Next()/LineBytes]++
+	}
+	for line, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Fatalf("line %d count %d far from uniform 1000", line, c)
+		}
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a, _ := NewZipf(0, 1<<20, 0.8, 123)
+	b, _ := NewZipf(0, 1<<20, 0.8, 123)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestZipfRejectsNegativeSkew(t *testing.T) {
+	if _, err := NewZipf(0, 1<<20, -1, 1); err == nil {
+		t.Fatal("expected error for negative skew")
+	}
+}
+
+func TestZipfReset(t *testing.T) {
+	z, _ := NewZipf(0, 1<<20, 1, 5)
+	first := Collect(z, 100)
+	z.Reset()
+	second := Collect(z, 100)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("reset changed sequence at %d", i)
+		}
+	}
+}
+
+func TestMixWeights(t *testing.T) {
+	l1, _ := NewLoop(0, 1<<20)
+	l2, _ := NewLoop(1<<30, 1<<20)
+	m, err := NewMix(1, Component{l1, 3}, Component{l2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	var low int
+	for i := 0; i < n; i++ {
+		if m.Next() < 1<<30 {
+			low++
+		}
+	}
+	frac := float64(low) / n
+	if frac < 0.72 || frac > 0.78 {
+		t.Fatalf("3:1 mix gave low fraction %.3f, want ~0.75", frac)
+	}
+}
+
+func TestMixRejectsBadInputs(t *testing.T) {
+	l, _ := NewLoop(0, 1<<20)
+	if _, err := NewMix(1); err == nil {
+		t.Fatal("expected error for empty mix")
+	}
+	if _, err := NewMix(1, Component{l, 0}); err == nil {
+		t.Fatal("expected error for zero weight")
+	}
+	if _, err := NewMix(1, Component{nil, 1}); err == nil {
+		t.Fatal("expected error for nil generator")
+	}
+}
+
+func TestMixFootprint(t *testing.T) {
+	l1, _ := NewLoop(0, 1<<20)
+	l2, _ := NewLoop(1<<30, 2<<20)
+	m, _ := NewMix(1, Component{l1, 1}, Component{l2, 1})
+	if got := m.Footprint(); got != 3<<20 {
+		t.Fatalf("mix footprint = %d, want %d", got, 3<<20)
+	}
+	m2, _ := NewMix(1, Component{l1, 1}, Component{NewStream(0), 1})
+	if got := m2.Footprint(); got != 0 {
+		t.Fatalf("mix with stream footprint = %d, want 0", got)
+	}
+}
+
+func TestMixReset(t *testing.T) {
+	l1, _ := NewLoop(0, 1<<20)
+	z, _ := NewZipf(1<<30, 1<<20, 1, 3)
+	m, _ := NewMix(77, Component{l1, 1}, Component{z, 1})
+	first := Collect(m, 500)
+	m.Reset()
+	second := Collect(m, 500)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("mix reset changed sequence at %d", i)
+		}
+	}
+}
+
+func TestCollectLength(t *testing.T) {
+	s := NewStream(0)
+	if got := len(Collect(s, 37)); got != 37 {
+		t.Fatalf("Collect returned %d addresses, want 37", got)
+	}
+}
+
+// Property: every generator emits line-aligned addresses inside its
+// footprint (when bounded), for arbitrary seeds and sizes.
+func TestPropertyGeneratorsAlignedAndBounded(t *testing.T) {
+	f := func(seedRaw uint64, sizeRaw uint16, skewRaw uint8) bool {
+		size := (uint64(sizeRaw)%1024 + 1) * LineBytes
+		skew := float64(skewRaw%30) / 10
+		z, err := NewZipf(0, size, skew, seedRaw)
+		if err != nil {
+			return false
+		}
+		l, err := NewLoop(0, size)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 200; i++ {
+			if a := z.Next(); a%LineBytes != 0 || a >= size {
+				return false
+			}
+			if a := l.Next(); a%LineBytes != 0 || a >= size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: splitmix-based rng floats stay in [0,1).
+func TestPropertyRNGFloatRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := newRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := r.float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	z, _ := NewZipf(0, 64<<20, 1.1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Next()
+	}
+}
+
+func BenchmarkMixNext(b *testing.B) {
+	l, _ := NewLoop(0, 1<<20)
+	z, _ := NewZipf(1<<30, 8<<20, 1.0, 2)
+	m, _ := NewMix(1, Component{l, 2}, Component{z, 1}, Component{NewStream(1 << 40), 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Next()
+	}
+}

@@ -1,0 +1,219 @@
+package dicer
+
+import (
+	"fmt"
+
+	"dicer/internal/app"
+	"dicer/internal/metrics"
+	"dicer/internal/policy"
+	"dicer/internal/resctrl"
+	"dicer/internal/sim"
+)
+
+// Scenario is a single co-location experiment: one HP application on core
+// 0 plus BE applications on the remaining cores, run under a policy for a
+// fixed horizon. It is the simplest entry point into the library; the
+// experiment harness (Suite) builds on the same machinery with memoisation
+// and workload sampling on top.
+type Scenario struct {
+	// Machine is the simulated platform; zero value means DefaultMachine.
+	Machine Machine
+	// HP is the high-priority application (CLOS 0, core 0).
+	HP Profile
+	// BEs are the best-effort applications, one per core starting at 1.
+	BEs []Profile
+	// PeriodSec is the monitoring period (default 1 s).
+	PeriodSec float64
+	// StepsPerPeriod subdivides each period for the simulator (default 4).
+	StepsPerPeriod int
+	// HorizonPeriods is the number of monitoring periods to run
+	// (default 120).
+	HorizonPeriods int
+	// OnPeriod, when non-nil, receives every monitoring-period reading —
+	// useful for live dashboards and the examples.
+	OnPeriod func(period int, p Period)
+	// WithMBA enables the MBA extension on the emulated platform (the
+	// paper's server lacked it; required for the ext.DicerMBA policy).
+	WithMBA bool
+}
+
+// NewScenario builds a Scenario from catalog names: one HP and beCount
+// copies of one BE. It panics on unknown names (use the Scenario struct
+// directly for full control and error handling).
+func NewScenario(hp, be string, beCount int) *Scenario {
+	hpProf := app.MustByName(hp)
+	beProf := app.MustByName(be)
+	bes := make([]Profile, beCount)
+	for i := range bes {
+		bes[i] = beProf
+	}
+	return &Scenario{HP: hpProf, BEs: bes}
+}
+
+// ScenarioResult summarises a scenario run.
+type ScenarioResult struct {
+	PolicyName string
+	// HPIPC is the HP's cumulative IPC over the horizon.
+	HPIPC float64
+	// BEIPCs are the cumulative IPCs of each BE instance.
+	BEIPCs []float64
+	// HPAloneIPC and BEAloneIPCs are the same applications run alone on
+	// the machine with the full LLC, for normalisation.
+	HPAloneIPC  float64
+	BEAloneIPCs []float64
+	// FinalHPWays is the HP partition size at the end of the run (always
+	// the full cache for UM).
+	FinalHPWays int
+}
+
+// HPNorm returns the HP's IPC normalised to its alone run.
+func (r ScenarioResult) HPNorm() float64 {
+	return metrics.NormIPC(r.HPIPC, r.HPAloneIPC)
+}
+
+// HPSlowdown returns the HP's co-location slowdown.
+func (r ScenarioResult) HPSlowdown() float64 {
+	return metrics.Slowdown(r.HPAloneIPC, r.HPIPC)
+}
+
+// BENorms returns each BE's IPC normalised to its alone run.
+func (r ScenarioResult) BENorms() []float64 {
+	out := make([]float64, len(r.BEIPCs))
+	for i := range out {
+		out[i] = metrics.NormIPC(r.BEIPCs[i], r.BEAloneIPCs[i])
+	}
+	return out
+}
+
+// EFU returns Eq. 1's effective utilisation for the run.
+func (r ScenarioResult) EFU() float64 {
+	norm := append([]float64{r.HPNorm()}, r.BENorms()...)
+	return metrics.EFU(norm)
+}
+
+// SLOAchieved reports whether the HP met the given SLO fraction.
+func (r ScenarioResult) SLOAchieved(slo float64) bool {
+	return metrics.SLOAchieved(r.HPIPC, r.HPAloneIPC, slo)
+}
+
+// SUCI returns Eq. 4's combined index for the run.
+func (r ScenarioResult) SUCI(slo, lambda float64) float64 {
+	return metrics.SUCI(r.SLOAchieved(slo), r.EFU(), lambda)
+}
+
+// defaults fills unset fields.
+func (s *Scenario) defaults() {
+	if s.Machine.Cores == 0 {
+		s.Machine = DefaultMachine()
+	}
+	if s.PeriodSec == 0 {
+		s.PeriodSec = 1
+	}
+	if s.StepsPerPeriod == 0 {
+		s.StepsPerPeriod = 4
+	}
+	if s.HorizonPeriods == 0 {
+		s.HorizonPeriods = 120
+	}
+}
+
+// Run executes the scenario under pol and returns the summary. Alone runs
+// for normalisation are executed on the same machine.
+func (s *Scenario) Run(pol Policy) (ScenarioResult, error) {
+	s.defaults()
+	if len(s.BEs) == 0 {
+		return ScenarioResult{}, fmt.Errorf("dicer: scenario needs at least one BE")
+	}
+	if len(s.BEs)+1 > s.Machine.Cores {
+		return ScenarioResult{}, fmt.Errorf("dicer: %d applications exceed %d cores",
+			len(s.BEs)+1, s.Machine.Cores)
+	}
+
+	r, err := sim.New(s.Machine, 2)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	if err := r.Attach(0, policy.HPClos, s.HP); err != nil {
+		return ScenarioResult{}, err
+	}
+	for i, be := range s.BEs {
+		if err := r.Attach(1+i, policy.BEClos, be); err != nil {
+			return ScenarioResult{}, err
+		}
+	}
+	emu := resctrl.NewEmu(r, s.WithMBA)
+	if err := pol.Setup(emu); err != nil {
+		return ScenarioResult{}, err
+	}
+	meter := resctrl.NewMeter(emu)
+	dt := s.PeriodSec / float64(s.StepsPerPeriod)
+	for period := 0; period < s.HorizonPeriods; period++ {
+		for step := 0; step < s.StepsPerPeriod; step++ {
+			r.Step(dt)
+		}
+		p := meter.Sample()
+		if s.OnPeriod != nil {
+			s.OnPeriod(period, p)
+		}
+		if err := pol.Observe(emu, p); err != nil {
+			return ScenarioResult{}, err
+		}
+	}
+
+	res := ScenarioResult{PolicyName: pol.Name()}
+	res.HPIPC = r.Proc(0).IPC()
+	for i := range s.BEs {
+		res.BEIPCs = append(res.BEIPCs, r.Proc(1+i).IPC())
+	}
+	res.FinalHPWays = popCount(emu.CBM(policy.HPClos))
+
+	if res.HPAloneIPC, err = s.aloneIPC(s.HP); err != nil {
+		return ScenarioResult{}, err
+	}
+	aloneCache := map[string]float64{}
+	for _, be := range s.BEs {
+		ipc, ok := aloneCache[be.Name]
+		if !ok {
+			if ipc, err = s.aloneIPC(be); err != nil {
+				return ScenarioResult{}, err
+			}
+			aloneCache[be.Name] = ipc
+		}
+		res.BEAloneIPCs = append(res.BEAloneIPCs, ipc)
+	}
+	return res, nil
+}
+
+// aloneIPC runs prof alone on the machine with the full LLC.
+func (s *Scenario) aloneIPC(prof Profile) (float64, error) {
+	r, err := sim.New(s.Machine, 1)
+	if err != nil {
+		return 0, err
+	}
+	if err := r.Attach(0, 0, prof); err != nil {
+		return 0, err
+	}
+	dt := s.PeriodSec / float64(s.StepsPerPeriod)
+	for i := 0; i < s.HorizonPeriods*s.StepsPerPeriod; i++ {
+		r.Step(dt)
+	}
+	return r.Proc(0).IPC(), nil
+}
+
+func popCount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// AloneIPC runs prof alone on machine m with the full LLC for the default
+// horizon and returns its cumulative IPC — the normalisation reference the
+// paper's metrics (and application-assisted controllers like
+// ext.Heracles) need. Pass a zero Machine for the paper's platform.
+func AloneIPC(m Machine, prof Profile) (float64, error) {
+	sc := &Scenario{Machine: m, HP: prof}
+	sc.defaults()
+	return sc.aloneIPC(prof)
+}

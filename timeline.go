@@ -1,0 +1,94 @@
+package dicer
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+
+	"dicer/internal/policy"
+)
+
+// TimelineEntry is one monitoring period's view of a running scenario.
+type TimelineEntry struct {
+	Period    int
+	HPIPC     float64
+	BEMeanIPC float64
+	HPWays    int
+	BEWays    int
+	HPBWGbps  float64
+	TotalGbps float64
+}
+
+// Timeline records per-period scenario state for post-hoc analysis. Attach
+// it to a Scenario before Run:
+//
+//	tl := &dicer.Timeline{}
+//	sc.OnPeriod = tl.Record(sys)  // or simply sc.Attach(tl)
+//
+// Scenario.AttachTimeline wires it in one call.
+type Timeline struct {
+	Entries []TimelineEntry
+}
+
+// AttachTimeline subscribes tl to the scenario's monitoring periods.
+// It must be called before Run; it replaces any previous OnPeriod hook.
+func (s *Scenario) AttachTimeline(tl *Timeline) {
+	s.OnPeriod = func(period int, p Period) {
+		e := TimelineEntry{
+			Period:    period,
+			HPIPC:     p.ClosMeanIPC(policy.HPClos),
+			BEMeanIPC: p.ClosMeanIPC(policy.BEClos),
+			HPBWGbps:  p.GroupBW(policy.HPClos),
+			TotalGbps: p.TotalGbps,
+		}
+		for _, g := range p.Groups {
+			switch g.Clos {
+			case policy.HPClos:
+				e.HPWays = bits.OnesCount64(g.CBM)
+			case policy.BEClos:
+				e.BEWays = bits.OnesCount64(g.CBM)
+			}
+		}
+		tl.Entries = append(tl.Entries, e)
+	}
+}
+
+// WriteCSV emits the timeline as CSV.
+func (tl *Timeline) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "period,hp_ipc,be_mean_ipc,hp_ways,be_ways,hp_bw_gbps,total_bw_gbps"); err != nil {
+		return err
+	}
+	for _, e := range tl.Entries {
+		if _, err := fmt.Fprintf(w, "%d,%.4f,%.4f,%d,%d,%.2f,%.2f\n",
+			e.Period, e.HPIPC, e.BEMeanIPC, e.HPWays, e.BEWays, e.HPBWGbps, e.TotalGbps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HPWaysSeries returns the HP allocation over time, for quick plotting.
+func (tl *Timeline) HPWaysSeries() []float64 {
+	out := make([]float64, len(tl.Entries))
+	for i, e := range tl.Entries {
+		out[i] = float64(e.HPWays)
+	}
+	return out
+}
+
+// MinMaxHPWays returns the smallest and largest HP allocation seen.
+func (tl *Timeline) MinMaxHPWays() (min, max int) {
+	if len(tl.Entries) == 0 {
+		return 0, 0
+	}
+	min, max = tl.Entries[0].HPWays, tl.Entries[0].HPWays
+	for _, e := range tl.Entries {
+		if e.HPWays < min {
+			min = e.HPWays
+		}
+		if e.HPWays > max {
+			max = e.HPWays
+		}
+	}
+	return min, max
+}
