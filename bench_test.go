@@ -18,12 +18,17 @@ import (
 	"testing"
 
 	"dicer"
+	"dicer/internal/app"
 	"dicer/internal/cache"
 	"dicer/internal/core"
 	"dicer/internal/experiments"
 	"dicer/internal/ext"
+	"dicer/internal/machine"
 	"dicer/internal/mrc"
+	"dicer/internal/policy"
 	"dicer/internal/report"
+	"dicer/internal/resctrl"
+	"dicer/internal/sim"
 )
 
 var (
@@ -70,6 +75,43 @@ func printTables(name string, tables ...*report.Table) {
 			fmt.Println()
 		}
 	})
+}
+
+// BenchmarkControllerObserve measures one full monitoring period of the
+// DICER control loop on the paper's platform — simulator steps, counter
+// sampling and the controller decision — i.e. the per-period overhead a
+// deployment pays. The alloc guard in internal/core/alloc_test.go pins
+// the controller's own share of that to zero allocations.
+func BenchmarkControllerObserve(b *testing.B) {
+	m := machine.Default()
+	r, err := sim.New(m, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := r.Attach(0, policy.HPClos, app.MustByName("omnetpp1")); err != nil {
+		b.Fatal(err)
+	}
+	for c := 1; c <= 9; c++ {
+		if err := r.Attach(c, policy.BEClos, app.MustByName("gcc_base1")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	emu := resctrl.NewEmu(r, false)
+	ctl := core.MustNew(core.DefaultConfig())
+	if err := ctl.Setup(emu); err != nil {
+		b.Fatal(err)
+	}
+	meter := resctrl.NewMeter(emu)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 4; s++ {
+			r.Step(0.25)
+		}
+		if err := ctl.Observe(emu, meter.Sample()); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkTable1_Config(b *testing.B) {

@@ -6,6 +6,7 @@
 //	dicer-sim -hp milc1 -be gcc_base1 -n 9 -policy dicer -trace
 //	dicer-sim -hp omnetpp1 -be lbm1 -n 5 -policy static:8
 //	dicer-sim -hp milc1 -be gcc_base1 -policy dicer+mba
+//	dicer-sim -hp omnetpp1 -be gcc_base1 -chaos storm -chaos-seed 7 -guard
 package main
 
 import (
@@ -31,6 +32,9 @@ func main() {
 		trace    = flag.Bool("trace", false, "print DICER controller decisions")
 		every    = flag.Int("every", 10, "print a timeline row every N periods (0 = none)")
 		timeline = flag.String("timeline", "", "write a per-period CSV timeline to this file")
+		chaosN   = flag.String("chaos", "none", "fault schedule: none | "+strings.Join(chaosNames(), " | "))
+		chaosS   = flag.Int64("chaos-seed", 1, "seed for the chaos fault stream (replays bit-identically)")
+		guard    = flag.Bool("guard", false, "machine-check controller invariants after every period")
 	)
 	flag.Parse()
 
@@ -48,6 +52,15 @@ func main() {
 	sc := dicer.NewScenario(*hp, *be, *n)
 	sc.HorizonPeriods = *periods
 	sc.WithMBA = withMBA
+	sc.CheckInvariants = *guard
+	if *chaosN != "none" {
+		cfg, err := dicer.ChaosScheduleByName(*chaosN)
+		if err != nil {
+			fatal(err)
+		}
+		sc.Chaos = &cfg
+		sc.ChaosSeed = *chaosS
+	}
 	var tl *dicer.Timeline
 	if *timeline != "" {
 		tl = &dicer.Timeline{}
@@ -85,6 +98,10 @@ func main() {
 		fmt.Printf("  SLO %.0f%%           %s (SUCI@1: %.3f)\n", slo*100, status, res.SUCI(slo, 1))
 	}
 	fmt.Printf("  final HP ways     %d\n", res.FinalHPWays)
+	if sc.Chaos != nil {
+		fmt.Printf("  chaos             %s seed=%d: %s\n", sc.Chaos.Name, sc.ChaosSeed, res.ChaosStats)
+		fmt.Printf("  tolerated faults  %d\n", res.ToleratedFaults)
+	}
 
 	if tl != nil {
 		f, err := os.Create(*timeline)
@@ -153,6 +170,15 @@ func buildPolicy(name, hpName string) (dicer.Policy, *core.Controller, bool, err
 		return mgr, ctl, false, nil
 	}
 	return nil, nil, false, fmt.Errorf("unknown policy %q", name)
+}
+
+// chaosNames lists the canned fault schedules for the -chaos flag help.
+func chaosNames() []string {
+	var names []string
+	for _, c := range dicer.ChaosSchedules() {
+		names = append(names, c.Name)
+	}
+	return names
 }
 
 func fatal(err error) {

@@ -1,6 +1,22 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"dicer"
+)
+
+func TestChaosNamesResolve(t *testing.T) {
+	names := chaosNames()
+	if len(names) < 5 {
+		t.Fatalf("only %d chaos schedules in the flag help", len(names))
+	}
+	for _, n := range names {
+		if _, err := dicer.ChaosScheduleByName(n); err != nil {
+			t.Errorf("%q: %v", n, err)
+		}
+	}
+}
 
 func TestBuildPolicy(t *testing.T) {
 	cases := []struct {

@@ -32,8 +32,10 @@ package dicer
 import (
 	"dicer/internal/app"
 	"dicer/internal/cache"
+	"dicer/internal/chaos"
 	"dicer/internal/core"
 	"dicer/internal/experiments"
+	"dicer/internal/invariant"
 	"dicer/internal/machine"
 	"dicer/internal/membw"
 	"dicer/internal/metrics"
@@ -87,7 +89,32 @@ type (
 	Result = experiments.Result
 	// SLOMonitor tracks rolling per-period SLO conformance with an alarm.
 	SLOMonitor = metrics.SLOMonitor
+	// ChaosConfig is a deterministic fault schedule for the chaos layer
+	// (counter dropout, frozen/jittered readings, rejected and delayed
+	// schemata writes).
+	ChaosConfig = chaos.Config
+	// ChaosStats counts the faults a chaos system actually injected.
+	ChaosStats = chaos.Stats
+	// ChaosSystem wraps a System with seeded fault injection.
+	ChaosSystem = chaos.System
+	// InvariantError reports the controller safety properties a run broke.
+	InvariantError = invariant.Error
+	// InvariantChecker validates controller safety properties per period.
+	InvariantChecker = invariant.Checker
+	// InvariantGuard wraps a Policy with a per-period invariant check.
+	InvariantGuard = invariant.Guard
+	// SoakConfig drives the chaos soak matrix over a Suite.
+	SoakConfig = experiments.SoakConfig
+	// SoakResult aggregates one soak matrix.
+	SoakResult = experiments.SoakResult
+	// SoakRun is one (workload, schedule, seed) soak cell.
+	SoakRun = experiments.SoakRun
 )
+
+// ErrChaosInjected marks errors caused by an injected fault; harnesses
+// use errors.Is with it to tolerate chaos-induced actuation failures
+// while keeping real errors fatal.
+var ErrChaosInjected = chaos.ErrInjected
 
 // DefaultMachine returns the paper's platform: 10 cores at 2.2 GHz, 25 MB
 // 20-way LLC, 68.3 Gbps memory link.
@@ -130,6 +157,25 @@ func NewSuite(cfg ExperimentConfig) (*Suite, error) { return experiments.NewSuit
 
 // DefaultExperimentConfig returns the paper's evaluation configuration.
 func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// ChaosSchedules returns the canned fault schedules the soak harness runs
+// (dropout, freeze, jitter, write-reject, delayed-actuation, storm).
+func ChaosSchedules() []ChaosConfig { return chaos.Schedules() }
+
+// ChaosScheduleByName looks up a canned fault schedule; "none" returns an
+// inactive schedule.
+func ChaosScheduleByName(name string) (ChaosConfig, error) { return chaos.ScheduleByName(name) }
+
+// NewChaosSystem wraps sys in the deterministic fault-injection layer.
+// The same wrapped system, schedule and seed replay bit-identically.
+func NewChaosSystem(sys System, cfg ChaosConfig, seed int64) *ChaosSystem {
+	return chaos.New(sys, cfg, seed)
+}
+
+// GuardPolicy wraps p in the runtime invariant guard: controller safety
+// properties are machine-checked after every period and a violation
+// surfaces as an *InvariantError from Observe.
+func GuardPolicy(p Policy) *InvariantGuard { return invariant.Wrap(p) }
 
 // NewSLOMonitor builds a rolling conformance monitor over the last n
 // monitoring periods: feed it per-period HP IPC readings and it reports

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -19,7 +20,11 @@ import (
 )
 
 func main() {
+	periods := flag.Int("periods", 120, "monitoring periods to simulate")
+	flag.Parse()
+
 	sc := dicer.NewScenario("milc1", "gcc_base1", 9)
+	sc.HorizonPeriods = *periods
 
 	fmt.Println("milc (HP) + 9x gcc (BEs): HP slowdown by policy")
 	fmt.Println()

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -24,6 +25,9 @@ import (
 )
 
 func main() {
+	periods := flag.Int("periods", 120, "monitoring periods to simulate")
+	flag.Parse()
+
 	cfg := dicer.DefaultControllerConfig()
 
 	mba, err := ext.NewDicerMBA(cfg, ext.DefaultMBAConfig(cfg.BWThresholdGbps))
@@ -52,6 +56,7 @@ func main() {
 	fmt.Printf("%-14s %9s %9s %8s\n", "variant", "HP norm", "BE norm", "EFU")
 	for _, v := range variants {
 		sc := dicer.NewScenario("lbm1", "libquantum1", 9)
+		sc.HorizonPeriods = *periods
 		sc.WithMBA = v.wantMBA
 		res, err := sc.Run(v.pol)
 		if err != nil {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,6 +18,9 @@ import (
 )
 
 func main() {
+	periods := flag.Int("periods", 90, "monitoring periods to simulate")
+	flag.Parse()
+
 	ctl := dicer.NewDICER()
 	ctl.Trace = func(e dicer.ControllerEvent) {
 		marker := ""
@@ -33,7 +37,7 @@ func main() {
 	}
 
 	sc := dicer.NewScenario("Xalan1", "bzip21", 9)
-	sc.HorizonPeriods = 90
+	sc.HorizonPeriods = *periods
 
 	res, err := sc.Run(ctl)
 	if err != nil {

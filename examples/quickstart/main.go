@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,9 +13,13 @@ import (
 )
 
 func main() {
+	periods := flag.Int("periods", 120, "monitoring periods to simulate")
+	flag.Parse()
+
 	// One HP (omnetpp, cache-sensitive) + 9 BEs (gcc) on the paper's
 	// 10-core, 25 MB 20-way Xeon.
 	sc := dicer.NewScenario("omnetpp1", "gcc_base1", 9)
+	sc.HorizonPeriods = *periods
 
 	for _, pol := range []dicer.Policy{
 		dicer.Unmanaged(),     // no control: full contention

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -18,6 +19,9 @@ import (
 )
 
 func main() {
+	seconds := flag.Int("seconds", 10, "seconds of simulated time to run")
+	flag.Parse()
+
 	// Build the paper's machine with one HP (mcf) and nine BEs (lbm).
 	m := dicer.DefaultMachine()
 	r, err := sim.New(m, 2)
@@ -46,9 +50,9 @@ func main() {
 	fmt.Printf("root schemata: %s", s1)
 	fmt.Printf("be schemata:   %s\n", s2)
 
-	// Run 10 seconds and read the monitoring files (CMT occupancy, MBM
+	// Run for -seconds and read the monitoring files (CMT occupancy, MBM
 	// bytes), as a monitoring daemon would.
-	for i := 0; i < 40; i++ {
+	for i := 0; i < *seconds*4; i++ {
 		r.Step(0.25)
 	}
 	for _, group := range []string{"", "/be"} {

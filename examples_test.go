@@ -1,0 +1,59 @@
+package dicer_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesSmoke compiles and runs every program under examples/ with a
+// short horizon, asserting each exits cleanly and prints something. This
+// keeps the examples honest: an API change that breaks them fails the
+// suite, not a user's first copy-paste.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke builds binaries; skipped with -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-example short-horizon flags (every example accepts one).
+	shortArgs := map[string][]string{
+		"quickstart":    {"-periods", "20"},
+		"consolidation": {"-periods", "20"},
+		"phases":        {"-periods", "20"},
+		"extensions":    {"-periods", "20"},
+		"resctrlfs":     {"-seconds", "2"},
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		args, ok := shortArgs[name]
+		if !ok {
+			t.Errorf("examples/%s has no short-horizon flags registered in this test", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", append([]string{"run", "./" + filepath.Join("examples", name)}, args...)...)
+			cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("examples/%s failed: %v\n%s", name, err, out)
+			}
+			if strings.TrimSpace(string(out)) == "" {
+				t.Errorf("examples/%s produced no output", name)
+			}
+		})
+		ran++
+	}
+	if ran == 0 {
+		t.Fatal("no examples found")
+	}
+}

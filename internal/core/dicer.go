@@ -178,8 +178,12 @@ type Controller struct {
 	prevIPC  float64
 	havePrev bool
 
-	// HP bandwidth history for phase detection (Eq. 2), newest last.
-	bwHist []float64
+	// HP bandwidth history for phase detection (Eq. 2). A fixed ring
+	// buffer keeps Observe allocation-free on the hot path (the alloc
+	// guard in alloc_test.go pins this down).
+	bwHist [3]float64
+	bwLen  int // valid entries in bwHist (0..3)
+	bwPos  int // next write position
 
 	// Sampling bookkeeping.
 	sampleHP int
@@ -217,6 +221,11 @@ func (c *Controller) Config() Config { return c.cfg }
 // HPWays returns the HP way count currently enforced.
 func (c *Controller) HPWays() int { return c.curHP }
 
+// Period returns the number of monitoring periods observed since Setup.
+// It increments by exactly one per Observe call — the invariant checker
+// (internal/invariant) relies on this to verify monotone bookkeeping.
+func (c *Controller) Period() int { return c.period }
+
 // CTFavoured reports whether the controller still assumes the workload is
 // CT-Favoured (no bandwidth saturation observed so far).
 func (c *Controller) CTFavoured() bool { return c.ctFavoured }
@@ -240,7 +249,7 @@ func (c *Controller) Setup(sys resctrl.System) error {
 	c.ipcOpt = 0
 	c.prevIPC = 0
 	c.havePrev = false
-	c.bwHist = c.bwHist[:0]
+	c.clearBW()
 	return policy.SplitWays(sys, c.curHP)
 }
 
@@ -313,7 +322,7 @@ func (c *Controller) observeOptimise(sys resctrl.System, hpIPC, hpBW, totalBW fl
 
 // phaseChange evaluates Eq. 2 against the previous three periods.
 func (c *Controller) phaseChange(hpBW float64) bool {
-	if len(c.bwHist) < 3 {
+	if c.bwLen < 3 {
 		return false
 	}
 	g := math.Cbrt(c.bwHist[0] * c.bwHist[1] * c.bwHist[2])
@@ -321,10 +330,18 @@ func (c *Controller) phaseChange(hpBW float64) bool {
 }
 
 func (c *Controller) pushBW(bw float64) {
-	c.bwHist = append(c.bwHist, bw)
-	if len(c.bwHist) > 3 {
-		c.bwHist = c.bwHist[1:]
+	c.bwHist[c.bwPos] = bw
+	c.bwPos = (c.bwPos + 1) % len(c.bwHist)
+	if c.bwLen < len(c.bwHist) {
+		c.bwLen++
 	}
+}
+
+// clearBW empties the bandwidth history (after allocation changes, old
+// readings would fake a phase change).
+func (c *Controller) clearBW() {
+	c.bwLen = 0
+	c.bwPos = 0
 }
 
 // startSampling begins Listing 1's allocation_sampling. The current
@@ -365,7 +382,7 @@ func (c *Controller) applyNextSample(sys resctrl.System, hpIPC, totalBW float64)
 	c.st = stOptimise
 	c.prevIPC = c.ipcOpt
 	c.havePrev = true
-	c.bwHist = c.bwHist[:0]
+	c.clearBW()
 	c.emit(EventSampleDone, hpIPC, totalBW)
 	return policy.SplitWays(sys, c.curHP)
 }
@@ -421,7 +438,7 @@ func (c *Controller) resumeOptimise(hpIPC float64) {
 	c.st = stOptimise
 	c.prevIPC = hpIPC
 	c.havePrev = true
-	c.bwHist = c.bwHist[:0]
+	c.clearBW()
 }
 
 func (c *Controller) emit(kind EventKind, hpIPC, totalBW float64) {

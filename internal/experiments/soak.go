@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"dicer/internal/app"
+	"dicer/internal/chaos"
+	"dicer/internal/core"
+	"dicer/internal/invariant"
+	"dicer/internal/policy"
+	"dicer/internal/report"
+	"dicer/internal/resctrl"
+	"dicer/internal/sim"
+)
+
+// SoakConfig drives the chaos soak harness: the full DICER control loop
+// runs over a matrix of (workload × fault schedule × seed), with the
+// invariant checker validating every monitoring period and HP performance
+// compared against the fault-free run of the same workload.
+type SoakConfig struct {
+	// Workloads to soak; empty means DefaultSoakWorkloads().
+	Workloads []Workload
+	// Schedules are the fault schedules; empty means chaos.Schedules().
+	Schedules []chaos.Config
+	// Seeds for each schedule; empty means {1, 2, 3}.
+	Seeds []int64
+	// HorizonPeriods per run; 0 means 60.
+	HorizonPeriods int
+	// MaxHPDegradation bounds the HP IPC loss relative to the fault-free
+	// run: chaos HP IPC must stay >= (1-MaxHPDegradation) × fault-free.
+	// 0 means 0.35.
+	MaxHPDegradation float64
+}
+
+func (c *SoakConfig) defaults() {
+	if len(c.Workloads) == 0 {
+		c.Workloads = DefaultSoakWorkloads()
+	}
+	if len(c.Schedules) == 0 {
+		c.Schedules = chaos.Schedules()
+	}
+	if len(c.Seeds) == 0 {
+		c.Seeds = []int64{1, 2, 3}
+	}
+	if c.HorizonPeriods == 0 {
+		c.HorizonPeriods = 60
+	}
+	if c.MaxHPDegradation == 0 {
+		c.MaxHPDegradation = 0.35
+	}
+}
+
+// DefaultSoakWorkloads returns the soak matrix's workloads: one
+// cache-sensitive CT-Favoured pair, the paper's canonical CT-Thwarted
+// pair (milc+gcc, §2.3.2), and a bandwidth-hostile pair that keeps the
+// controller in its saturation/sampling states.
+func DefaultSoakWorkloads() []Workload {
+	return []Workload{
+		{HP: "omnetpp1", BE: "gcc_base1", BECount: 9},
+		{HP: "milc1", BE: "gcc_base1", BECount: 9},
+		{HP: "mcf1", BE: "lbm1", BECount: 5},
+	}
+}
+
+// SoakRun is the outcome of one (workload, schedule, seed) cell.
+type SoakRun struct {
+	Workload Workload
+	Schedule string
+	Seed     int64
+
+	HPIPC          float64 // HP cumulative IPC under chaos
+	FaultFreeHPIPC float64 // same workload, no faults
+	Degradation    float64 // max(0, 1 - HPIPC/FaultFreeHPIPC)
+
+	Stats            chaos.Stats // faults actually injected
+	ToleratedFaults  int         // Observe errors tolerated (injected writes)
+	InvariantChecks  int         // per-period checks performed
+	FinalHPWays      int
+	Fingerprint      uint64 // FNV-1a over the per-period trajectory
+}
+
+// SoakResult aggregates a soak matrix.
+type SoakResult struct {
+	Runs             []SoakRun
+	MaxDegradation   float64
+	MaxHPDegradation float64 // the configured bound
+}
+
+// Table renders the soak matrix for reports.
+func (r *SoakResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Chaos soak: HP IPC under fault schedules (bound: degradation <= %.0f%%)",
+			r.MaxHPDegradation*100),
+		"Workload", "Schedule", "Seed", "HP IPC", "Fault-free", "Degradation", "Faults")
+	for _, run := range r.Runs {
+		t.AddRowf(run.Workload.String(), run.Schedule, fmt.Sprintf("%d", run.Seed),
+			run.HPIPC, run.FaultFreeHPIPC,
+			fmt.Sprintf("%.1f%%", run.Degradation*100), run.Stats.String())
+	}
+	return t
+}
+
+// Soak runs the full matrix. It fails fast on the first invariant
+// violation or degradation-bound breach — the returned error names the
+// (workload, schedule, seed) cell so the failure replays exactly.
+func (s *Suite) Soak(cfg SoakConfig) (*SoakResult, error) {
+	cfg.defaults()
+	res := &SoakResult{MaxHPDegradation: cfg.MaxHPDegradation}
+	for _, w := range cfg.Workloads {
+		baseline, err := s.soakRun(w, chaos.Config{Name: "none"}, 0, cfg.HorizonPeriods)
+		if err != nil {
+			return nil, fmt.Errorf("soak %s fault-free: %w", w, err)
+		}
+		for _, sched := range cfg.Schedules {
+			for _, seed := range cfg.Seeds {
+				run, err := s.soakRun(w, sched, seed, cfg.HorizonPeriods)
+				if err != nil {
+					return nil, fmt.Errorf("soak %s schedule %q seed %d: %w",
+						w, sched.Name, seed, err)
+				}
+				run.FaultFreeHPIPC = baseline.HPIPC
+				if baseline.HPIPC > 0 {
+					run.Degradation = 1 - run.HPIPC/baseline.HPIPC
+					if run.Degradation < 0 {
+						run.Degradation = 0
+					}
+				}
+				if run.Degradation > cfg.MaxHPDegradation {
+					return res, fmt.Errorf(
+						"soak %s schedule %q seed %d: HP degradation %.1f%% exceeds bound %.1f%% (chaos IPC %.3f vs fault-free %.3f)",
+						w, sched.Name, seed, run.Degradation*100, cfg.MaxHPDegradation*100,
+						run.HPIPC, baseline.HPIPC)
+				}
+				if run.Degradation > res.MaxDegradation {
+					res.MaxDegradation = run.Degradation
+				}
+				res.Runs = append(res.Runs, run)
+			}
+		}
+	}
+	return res, nil
+}
+
+// soakRun executes one cell: the DICER controller on the suite's machine
+// under one fault schedule, invariants checked after every period.
+func (s *Suite) soakRun(w Workload, sched chaos.Config, seed int64, horizon int) (SoakRun, error) {
+	m := s.cfg.Machine
+	hpProf, err := app.ByName(w.HP)
+	if err != nil {
+		return SoakRun{}, err
+	}
+	beProf, err := app.ByName(w.BE)
+	if err != nil {
+		return SoakRun{}, err
+	}
+	r, err := sim.New(m, 2)
+	if err != nil {
+		return SoakRun{}, err
+	}
+	if err := r.Attach(0, policy.HPClos, hpProf); err != nil {
+		return SoakRun{}, err
+	}
+	for i := 1; i <= w.BECount; i++ {
+		if err := r.Attach(i, policy.BEClos, beProf); err != nil {
+			return SoakRun{}, err
+		}
+	}
+
+	sys := chaos.New(resctrl.NewEmu(r, false), sched, seed)
+	ctl, err := core.New(s.cfg.DICER)
+	if err != nil {
+		return SoakRun{}, err
+	}
+	run := SoakRun{Workload: w, Schedule: sched.Name, Seed: seed}
+	if err := ctl.Setup(sys); err != nil {
+		// Setup writes the initial split, so it is exposed to injected
+		// schemata rejections like any other actuation.
+		if !errors.Is(err, chaos.ErrInjected) {
+			return run, err
+		}
+		run.ToleratedFaults++
+	}
+	checker := invariant.NewChecker(ctl.Config())
+	meter := resctrl.NewMeter(sys)
+
+	h := fnv.New64a()
+	dt := s.cfg.PeriodSec / float64(s.cfg.StepsPerPeriod)
+	for period := 0; period < horizon; period++ {
+		for step := 0; step < s.cfg.StepsPerPeriod; step++ {
+			r.Step(dt)
+		}
+		p := meter.Sample()
+		if err := ctl.Observe(sys, p); err != nil {
+			if !errors.Is(err, chaos.ErrInjected) {
+				return run, err
+			}
+			// An injected schemata-write rejection: a production
+			// controller logs it and retries next period; the soak
+			// loop does the same.
+			run.ToleratedFaults++
+		}
+		if err := checker.Check(sys, ctl, sys.ActuationClean()); err != nil {
+			return run, err
+		}
+		fmt.Fprintf(h, "%d:%d:%s:%x:%x|", period, ctl.HPWays(), ctl.State(),
+			sys.CBM(policy.HPClos), sys.CBM(policy.BEClos))
+	}
+
+	// Drain in-flight actuation and run a final full-consistency check:
+	// once every write has landed, installed masks must equal intent. A
+	// fresh checker skips the period-monotonicity invariant, which does
+	// not apply to a re-check of an already-validated period.
+	sys.Drain()
+	if err := invariant.NewChecker(ctl.Config()).Check(sys, ctl, sys.ActuationClean()); err != nil {
+		return run, fmt.Errorf("post-drain: %w", err)
+	}
+
+	run.HPIPC = r.Proc(0).IPC()
+	run.Stats = sys.Stats()
+	run.InvariantChecks = checker.Checks() + 1
+	run.FinalHPWays = ctl.HPWays()
+	run.Fingerprint = h.Sum64()
+	return run, nil
+}

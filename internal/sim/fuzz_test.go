@@ -1,16 +1,71 @@
 package sim_test
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
 	"dicer/internal/app"
+	"dicer/internal/chaos"
 	"dicer/internal/core"
+	"dicer/internal/invariant"
 	"dicer/internal/machine"
 	"dicer/internal/policy"
 	"dicer/internal/resctrl"
 	"dicer/internal/sim"
 )
+
+// FuzzFullStack is the native-fuzzing variant of the property tests
+// below: a seeded random workload population runs through the simulator,
+// the RDT emulation, a fuzzer-chosen chaos fault schedule and the DICER
+// controller, with the invariant checker validating every period. `go
+// test` exercises the seed corpus (testdata/fuzz); CI runs a short
+// -fuzztime exploration on top.
+func FuzzFullStack(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(0), int64(1))
+	f.Add(uint64(7), uint8(9), uint8(3), int64(42))
+	f.Add(uint64(123456789), uint8(1), uint8(6), int64(-5))
+	schedules := append([]chaos.Config{{Name: "none"}}, chaos.Schedules()...)
+	m := machine.Default()
+	f.Fuzz(func(t *testing.T, seed uint64, beCountRaw, chaosPick uint8, chaosSeed int64) {
+		beCount := int(beCountRaw%9) + 1
+		sched := schedules[int(chaosPick)%len(schedules)]
+		gen := app.NewGenerator(seed)
+		hp := gen.Profile("hp")
+		bes := gen.Population("be", beCount)
+
+		r, err := sim.New(m, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Attach(0, policy.HPClos, hp); err != nil {
+			t.Fatal(err)
+		}
+		for i, be := range bes {
+			if err := r.Attach(1+i, policy.BEClos, be); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sys := chaos.New(resctrl.NewEmu(r, false), sched, chaosSeed)
+		ctl := core.MustNew(core.DefaultConfig())
+		if err := ctl.Setup(sys); err != nil && !errors.Is(err, chaos.ErrInjected) {
+			t.Fatal(err)
+		}
+		checker := invariant.NewChecker(ctl.Config())
+		meter := resctrl.NewMeter(sys)
+		for period := 0; period < 20; period++ {
+			r.Step(0.5)
+			r.Step(0.5)
+			if err := ctl.Observe(sys, meter.Sample()); err != nil &&
+				!errors.Is(err, chaos.ErrInjected) {
+				t.Fatalf("period %d (schedule %q): %v", period, sched.Name, err)
+			}
+			if err := checker.Check(sys, ctl, sys.ActuationClean()); err != nil {
+				t.Fatalf("period %d (schedule %q): %v", period, sched.Name, err)
+			}
+		}
+	})
+}
 
 // Full-stack fuzzing: random (seeded) workload populations driven through
 // the simulator, the RDT emulation and the DICER controller. Whatever the

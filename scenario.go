@@ -1,9 +1,12 @@
 package dicer
 
 import (
+	"errors"
 	"fmt"
 
 	"dicer/internal/app"
+	"dicer/internal/chaos"
+	"dicer/internal/invariant"
 	"dicer/internal/metrics"
 	"dicer/internal/policy"
 	"dicer/internal/resctrl"
@@ -35,6 +38,21 @@ type Scenario struct {
 	// WithMBA enables the MBA extension on the emulated platform (the
 	// paper's server lacked it; required for the ext.DicerMBA policy).
 	WithMBA bool
+	// Chaos, when non-nil and active, wraps the emulated platform in the
+	// deterministic fault-injection layer: counter dropout, frozen and
+	// jittered readings, rejected and delayed schemata writes. Injected
+	// actuation failures are tolerated (counted in the result); see
+	// ChaosSchedules for the canned fault schedules.
+	Chaos *ChaosConfig
+	// ChaosSeed seeds the fault stream. The same scenario, schedule and
+	// seed replay bit-identically.
+	ChaosSeed int64
+	// CheckInvariants wraps the policy in the runtime invariant guard:
+	// the controller safety properties (mask legality, HP way bounds,
+	// state and bookkeeping sanity, intent/installed consistency) are
+	// machine-checked after every monitoring period, and a violation
+	// aborts the run with an *InvariantError.
+	CheckInvariants bool
 }
 
 // NewScenario builds a Scenario from catalog names: one HP and beCount
@@ -64,6 +82,11 @@ type ScenarioResult struct {
 	// FinalHPWays is the HP partition size at the end of the run (always
 	// the full cache for UM).
 	FinalHPWays int
+	// ChaosStats counts the faults actually injected (zero without Chaos).
+	ChaosStats ChaosStats
+	// ToleratedFaults counts the Setup/Observe calls whose actuation was
+	// rejected by an injected fault and retried on the next period.
+	ToleratedFaults int
 }
 
 // HPNorm returns the HP's IPC normalised to its alone run.
@@ -141,11 +164,42 @@ func (s *Scenario) Run(pol Policy) (ScenarioResult, error) {
 			return ScenarioResult{}, err
 		}
 	}
-	emu := resctrl.NewEmu(r, s.WithMBA)
-	if err := pol.Setup(emu); err != nil {
+	var sys resctrl.System = resctrl.NewEmu(r, s.WithMBA)
+	var csys *chaos.System
+	if s.Chaos != nil && s.Chaos.Active() {
+		if err := s.Chaos.Validate(); err != nil {
+			return ScenarioResult{}, err
+		}
+		csys = chaos.New(sys, *s.Chaos, s.ChaosSeed)
+		sys = csys
+	}
+	runPol := pol
+	if s.CheckInvariants {
+		runPol = invariant.Wrap(pol)
+	}
+	// tolerate absorbs injected actuation faults (the policy retries on
+	// the next period, like a production controller would); invariant
+	// violations and real errors stay fatal.
+	tolerated := 0
+	tolerate := func(err error) error {
+		if err == nil {
+			return nil
+		}
+		var ie *invariant.Error
+		if errors.As(err, &ie) {
+			return err
+		}
+		if csys != nil && errors.Is(err, chaos.ErrInjected) {
+			tolerated++
+			return nil
+		}
+		return err
+	}
+
+	if err := tolerate(runPol.Setup(sys)); err != nil {
 		return ScenarioResult{}, err
 	}
-	meter := resctrl.NewMeter(emu)
+	meter := resctrl.NewMeter(sys)
 	dt := s.PeriodSec / float64(s.StepsPerPeriod)
 	for period := 0; period < s.HorizonPeriods; period++ {
 		for step := 0; step < s.StepsPerPeriod; step++ {
@@ -155,7 +209,7 @@ func (s *Scenario) Run(pol Policy) (ScenarioResult, error) {
 		if s.OnPeriod != nil {
 			s.OnPeriod(period, p)
 		}
-		if err := pol.Observe(emu, p); err != nil {
+		if err := tolerate(runPol.Observe(sys, p)); err != nil {
 			return ScenarioResult{}, err
 		}
 	}
@@ -165,7 +219,14 @@ func (s *Scenario) Run(pol Policy) (ScenarioResult, error) {
 	for i := range s.BEs {
 		res.BEIPCs = append(res.BEIPCs, r.Proc(1+i).IPC())
 	}
-	res.FinalHPWays = popCount(emu.CBM(policy.HPClos))
+	if csys != nil {
+		// Land any delayed writes so the reported final partition is the
+		// one the controller last asked for.
+		csys.Drain()
+		res.ChaosStats = csys.Stats()
+		res.ToleratedFaults = tolerated
+	}
+	res.FinalHPWays = popCount(sys.CBM(policy.HPClos))
 
 	if res.HPAloneIPC, err = s.aloneIPC(s.HP); err != nil {
 		return ScenarioResult{}, err
