@@ -134,6 +134,25 @@ func BenchmarkFigure1_SlowdownCDF(b *testing.B) {
 	}
 }
 
+// BenchmarkSweep59x59 is the perf-trajectory headline: the full 3481-cell
+// baseline sweep (UM + CT over the whole catalog) on a FRESH suite each
+// iteration, so nothing is served from the memo cache — every cell
+// simulates. BENCH_sweep.json (emitted by cmd/dicer-bench -sweepjson)
+// tracks this number across PRs.
+func BenchmarkSweep59x59(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.NewSuite(experiments.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := s.Figure1(9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.UMCDF[1], "umCDF@1.1x_%")
+	}
+}
+
 func BenchmarkFigure2_WaysCDF(b *testing.B) {
 	s := benchSuite(b)
 	for i := 0; i < b.N; i++ {

@@ -8,6 +8,8 @@
 //	dicer-bench -fig headline       # the paper's headline claims
 //	dicer-bench -fig 3 -hp milc1 -be gcc_base1
 //	dicer-bench -fig 5 -csv out/    # also write CSV files
+//	dicer-bench -fig 1 -cpuprofile cpu.pprof   # profile the sweep
+//	dicer-bench -sweepjson BENCH_sweep.json    # perf-trajectory record
 package main
 
 import (
@@ -15,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"dicer/internal/experiments"
@@ -23,18 +27,54 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: table1, 1-8, headline, sensitivity, ablation, all")
-		hp      = flag.String("hp", "milc1", "HP application for -fig 3")
-		be      = flag.String("be", "gcc_base1", "BE application for -fig 3")
-		bes     = flag.Int("bes", 9, "number of co-located BE instances")
-		csvDir  = flag.String("csv", "", "directory to also write CSV files into")
-		jsonDir = flag.String("json", "", "directory to also write JSON files into")
-		workers = flag.Int("workers", 0, "parallel simulation workers (0 = all cores)")
+		fig        = flag.String("fig", "all", "which figure to regenerate: table1, 1-8, headline, sensitivity, ablation, all")
+		hp         = flag.String("hp", "milc1", "HP application for -fig 3")
+		be         = flag.String("be", "gcc_base1", "BE application for -fig 3")
+		bes        = flag.Int("bes", 9, "number of co-located BE instances")
+		csvDir     = flag.String("csv", "", "directory to also write CSV files into")
+		jsonDir    = flag.String("json", "", "directory to also write JSON files into")
+		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = all cores)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		sweepJSON  = flag.String("sweepjson", "", "measure the uncached 59x59 sweep and write {wall, ns/step, allocs/step} JSON to this file, then exit")
 	)
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
 	cfg := experiments.DefaultConfig()
 	cfg.Workers = *workers
+
+	if *sweepJSON != "" {
+		if err := writeSweepJSON(cfg, *sweepJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	suite, err := experiments.NewSuite(cfg)
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dicer/internal/app"
+	"dicer/internal/experiments"
+)
+
+// sweepRecord is the perf-trajectory record BENCH_sweep.json carries: one
+// uncached full-catalog sweep, so future PRs can compare like for like.
+type sweepRecord struct {
+	Benchmark     string  `json:"benchmark"`
+	Workloads     int     `json:"workloads"`
+	Steps         int64   `json:"steps"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	NsPerStep     float64 `json:"ns_per_step"`
+	AllocsPerStep float64 `json:"allocs_per_step"`
+	UMCDF11Pct    float64 `json:"um_cdf_1_1x_pct"`
+	CTCDF11Pct    float64 `json:"ct_cdf_1_1x_pct"`
+}
+
+// writeSweepJSON runs the full 59×59 baseline sweep (Figure 1) on a fresh
+// suite — nothing memoised, every cell simulated — and records wall time,
+// ns per simulator step and allocations per step.
+func writeSweepJSON(cfg experiments.Config, path string) error {
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+	apps := len(app.Names())
+	const policies = 2 // UM and CT
+
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+	start := time.Now()
+	f, err := suite.Figure1(cfg.Machine.Cores - 1)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&msAfter)
+
+	// Steps actually driven: each (HP, BE) pair under each policy for the
+	// sweep horizon, plus one full-horizon alone run per catalog app.
+	steps := int64(apps*apps*policies)*int64(cfg.SweepHorizonPeriods*cfg.StepsPerPeriod) +
+		int64(apps)*int64(cfg.HorizonPeriods*cfg.StepsPerPeriod)
+
+	rec := sweepRecord{
+		Benchmark:     "sweep59x59",
+		Workloads:     apps * apps,
+		Steps:         steps,
+		WallSeconds:   wall.Seconds(),
+		NsPerStep:     float64(wall.Nanoseconds()) / float64(steps),
+		AllocsPerStep: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(steps),
+		UMCDF11Pct:    f.UMCDF[1],
+		CTCDF11Pct:    f.CTCDF[1],
+	}
+	body, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(body, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("sweep: %d workloads, %d steps, %.2f s wall, %.0f ns/step, %.2f allocs/step\nwrote %s\n",
+		rec.Workloads, rec.Steps, rec.WallSeconds, rec.NsPerStep, rec.AllocsPerStep, path)
+	return nil
+}

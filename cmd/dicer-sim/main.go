@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -24,19 +25,32 @@ import (
 
 func main() {
 	var (
-		hp       = flag.String("hp", "milc1", "high-priority application (catalog name)")
-		be       = flag.String("be", "gcc_base1", "best-effort application (catalog name)")
-		n        = flag.Int("n", 9, "number of BE instances")
-		polName  = flag.String("policy", "dicer", "um | ct | static:<ways> | dicer | dicer+mba | dicer+bemgr | heracles:<slo>")
-		periods  = flag.Int("periods", 120, "monitoring periods to simulate")
-		trace    = flag.Bool("trace", false, "print DICER controller decisions")
-		every    = flag.Int("every", 10, "print a timeline row every N periods (0 = none)")
-		timeline = flag.String("timeline", "", "write a per-period CSV timeline to this file")
-		chaosN   = flag.String("chaos", "none", "fault schedule: none | "+strings.Join(chaosNames(), " | "))
-		chaosS   = flag.Int64("chaos-seed", 1, "seed for the chaos fault stream (replays bit-identically)")
-		guard    = flag.Bool("guard", false, "machine-check controller invariants after every period")
+		hp         = flag.String("hp", "milc1", "high-priority application (catalog name)")
+		be         = flag.String("be", "gcc_base1", "best-effort application (catalog name)")
+		n          = flag.Int("n", 9, "number of BE instances")
+		polName    = flag.String("policy", "dicer", "um | ct | static:<ways> | dicer | dicer+mba | dicer+bemgr | heracles:<slo>")
+		periods    = flag.Int("periods", 120, "monitoring periods to simulate")
+		trace      = flag.Bool("trace", false, "print DICER controller decisions")
+		every      = flag.Int("every", 10, "print a timeline row every N periods (0 = none)")
+		timeline   = flag.String("timeline", "", "write a per-period CSV timeline to this file")
+		chaosN     = flag.String("chaos", "none", "fault schedule: none | "+strings.Join(chaosNames(), " | "))
+		chaosS     = flag.Int64("chaos-seed", 1, "seed for the chaos fault stream (replays bit-identically)")
+		guard      = flag.Bool("guard", false, "machine-check controller invariants after every period")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	pol, ctl, withMBA, err := buildPolicy(*polName, *hp)
 	if err != nil {

@@ -126,7 +126,18 @@ type Perf struct {
 // cacheBytes of LLC available, memory-latency inflation factor, and a
 // base-CPI co-location factor (machine.CoLocFactor; 1 when running alone).
 func PhasePerf(m machine.Machine, ph Phase, cacheBytes, inflation, baseFactor float64) Perf {
-	miss := ph.Curve.MissRatio(cacheBytes)
+	p := PhasePerfMiss(m, ph, ph.Curve.MissRatio(cacheBytes), inflation, baseFactor)
+	p.OccupancyB = ph.Curve.OccupancyDemand(cacheBytes)
+	return p
+}
+
+// PhasePerfMiss evaluates the performance model with a precomputed miss
+// ratio, skipping both curve walks (OccupancyB is left zero). The miss
+// ratio of a phase depends only on the offered capacity, so hot paths that
+// re-evaluate the model at many inflation factors (the bandwidth fixed
+// point in internal/sim) compute it once and call this for every factor.
+// The arithmetic is identical to PhasePerf's, term for term.
+func PhasePerfMiss(m machine.Machine, ph Phase, miss, inflation, baseFactor float64) Perf {
 	mpki := ph.APKI * miss
 	cpi := ph.BaseCPI*baseFactor + mpki/1000*m.MemLatCycles*inflation
 	ipc := 1 / cpi
@@ -137,7 +148,6 @@ func PhasePerf(m machine.Machine, ph Phase, cacheBytes, inflation, baseFactor fl
 		MissRatio:   miss,
 		MPKI:        mpki,
 		BytesPerSec: bytes,
-		OccupancyB:  ph.Curve.OccupancyDemand(cacheBytes),
 	}
 }
 
@@ -182,11 +192,26 @@ func (pr *Proc) Perf(m machine.Machine, cacheBytes, inflation, baseFactor float6
 // (cacheBytes, inflation), crossing phase boundaries and restarting as
 // needed. It returns the instructions retired during the interval.
 func (pr *Proc) Advance(m machine.Machine, cacheBytes, inflation, baseFactor, dt float64) float64 {
+	return pr.advance(m, cacheBytes, -1, inflation, baseFactor, dt)
+}
+
+// AdvanceMiss is Advance with a precomputed miss ratio for the process's
+// current phase at cacheBytes (callers that already solved the cache
+// sharing hold it). Later phases entered during the interval evaluate
+// their own curves as usual.
+func (pr *Proc) AdvanceMiss(m machine.Machine, cacheBytes, miss, inflation, baseFactor, dt float64) float64 {
+	return pr.advance(m, cacheBytes, miss, inflation, baseFactor, dt)
+}
+
+func (pr *Proc) advance(m machine.Machine, cacheBytes, miss, inflation, baseFactor, dt float64) float64 {
 	cyclesLeft := dt * m.CyclesPerSecond()
 	var retired float64
 	for cyclesLeft > 1e-9 {
 		ph := pr.Phase()
-		perf := PhasePerf(m, ph, cacheBytes, inflation, baseFactor)
+		if miss < 0 {
+			miss = ph.Curve.MissRatio(cacheBytes)
+		}
+		perf := PhasePerfMiss(m, ph, miss, inflation, baseFactor)
 		phaseRemaining := ph.Instructions - pr.phaseInstr
 		// Cycles needed to finish the phase at the current CPI.
 		cpi := 1 / perf.IPC
@@ -210,6 +235,7 @@ func (pr *Proc) Advance(m machine.Machine, cacheBytes, inflation, baseFactor, dt
 				pr.phase = 0
 				pr.Completions++
 			}
+			miss = -1 // next phase evaluates its own curve
 		}
 	}
 	return retired

@@ -40,6 +40,11 @@ type Config struct {
 	SweepHorizonPeriods int
 	// Workers bounds run parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// ReferenceSolver routes every simulation through the retained
+	// pre-optimisation solver (sim.Runner.UseReferenceSolver). Solver
+	// equivalence tests run the same suite both ways; production leaves
+	// it false.
+	ReferenceSolver bool
 	// DICER returns the controller configuration (Table 1 defaults).
 	DICER core.Config
 }
@@ -133,15 +138,60 @@ func (r Result) SUCI(slo, lambda float64) float64 {
 	return metrics.SUCI(r.SLOAchieved(slo), r.EFU(), lambda)
 }
 
+// memoShards spreads the Suite memo maps over independently locked
+// shards so RunMany workers don't serialise on one mutex. 16 comfortably
+// exceeds any realistic worker count while keeping the footprint trivial.
+const memoShards = 16
+
+// aloneEntry is a singleflight cell: the first caller computes under the
+// Once, every concurrent duplicate blocks on it and shares the result.
+type aloneEntry struct {
+	once sync.Once
+	ipc  float64
+	err  error
+}
+
+// runEntry is the singleflight cell for co-located runs.
+type runEntry struct {
+	once sync.Once
+	res  Result
+	err  error
+}
+
+type memoShard[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]V
+}
+
+// entry returns the cell for key, creating it if absent. Only the map
+// access is under the shard lock; the compute runs under the cell's Once,
+// so distinct keys never contend.
+func (s *memoShard[K, V]) entry(key K, mk func() V) V {
+	s.mu.Lock()
+	v, ok := s.m[key]
+	if !ok {
+		if s.m == nil {
+			s.m = map[K]V{}
+		}
+		v = mk()
+		s.m[key] = v
+	}
+	s.mu.Unlock()
+	return v
+}
+
 // Suite memoises alone runs and co-located runs for one configuration.
-// It is safe for concurrent use.
+// It is safe for concurrent use: the memo maps are sharded by key hash,
+// each entry is computed exactly once (singleflight), and simulation
+// Runners are pooled and reset between runs.
 type Suite struct {
 	cfg Config
 
-	mu      sync.Mutex
-	alone   map[string]float64   // app -> alone IPC (full LLC)
-	aloneW  map[aloneKey]float64 // (app, ways) -> alone IPC
-	runs    map[runKey]Result    // memoised co-located runs
+	aloneSh [memoShards]memoShard[aloneKey, *aloneEntry]
+	runSh   [memoShards]memoShard[runKey, *runEntry]
+
+	runners sync.Pool // *sim.Runner, reset before reuse
+
 	classMu sync.Mutex
 	class   map[int]*Classification // BECount -> classification
 }
@@ -157,6 +207,33 @@ type runKey struct {
 	horizon int
 }
 
+// fnv1a accumulates FNV-1a over a string, for shard selection.
+func fnv1a(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+const fnvOffset = 14695981039346656037
+
+func (k aloneKey) shard() int {
+	h := fnv1a(fnvOffset, k.name)
+	h ^= uint64(k.ways)
+	h *= 1099511628211
+	return int(h % memoShards)
+}
+
+func (k runKey) shard() int {
+	h := fnv1a(fnvOffset, k.w.HP)
+	h = fnv1a(h, k.w.BE)
+	h = fnv1a(h, string(k.policy))
+	h ^= uint64(k.w.BECount)<<32 | uint64(uint32(k.horizon))
+	h *= 1099511628211
+	return int(h % memoShards)
+}
+
 // NewSuite creates a Suite for cfg.
 func NewSuite(cfg Config) (*Suite, error) {
 	if err := cfg.Machine.Validate(); err != nil {
@@ -170,12 +247,35 @@ func NewSuite(cfg Config) (*Suite, error) {
 		return nil, err
 	}
 	return &Suite{
-		cfg:    cfg,
-		alone:  map[string]float64{},
-		aloneW: map[aloneKey]float64{},
-		runs:   map[runKey]Result{},
-		class:  map[int]*Classification{},
+		cfg:   cfg,
+		class: map[int]*Classification{},
 	}, nil
+}
+
+// getRunner returns a pooled Runner reset to closCount CLOS (or a fresh
+// one when the pool is empty). Return it with putRunner when the run's
+// counters have been read.
+func (s *Suite) getRunner(closCount int) (*sim.Runner, error) {
+	if v := s.runners.Get(); v != nil {
+		r := v.(*sim.Runner)
+		if err := r.Reset(closCount); err != nil {
+			return nil, err
+		}
+		r.UseReferenceSolver(s.cfg.ReferenceSolver)
+		return r, nil
+	}
+	r, err := sim.New(s.cfg.Machine, closCount)
+	if err != nil {
+		return nil, err
+	}
+	r.UseReferenceSolver(s.cfg.ReferenceSolver)
+	return r, nil
+}
+
+func (s *Suite) putRunner(r *sim.Runner) {
+	if r != nil {
+		s.runners.Put(r)
+	}
 }
 
 // Config returns the suite configuration.
@@ -200,22 +300,24 @@ func (s *Suite) AloneIPC(name string) (float64, error) {
 // behind the paper's Figure 2.
 func (s *Suite) AloneIPCWays(name string, ways int) (float64, error) {
 	key := aloneKey{name, ways}
-	s.mu.Lock()
-	if v, ok := s.aloneW[key]; ok {
-		s.mu.Unlock()
-		return v, nil
-	}
-	s.mu.Unlock()
+	e := s.aloneSh[key.shard()].entry(key, func() *aloneEntry { return &aloneEntry{} })
+	e.once.Do(func() {
+		e.ipc, e.err = s.aloneUncached(name, ways)
+	})
+	return e.ipc, e.err
+}
 
+func (s *Suite) aloneUncached(name string, ways int) (float64, error) {
 	prof, err := app.ByName(name)
 	if err != nil {
 		return 0, err
 	}
 	m := s.cfg.Machine
-	r, err := sim.New(m, 1)
+	r, err := s.getRunner(1)
 	if err != nil {
 		return 0, err
 	}
+	defer s.putRunner(r)
 	if err := r.Attach(0, 0, prof); err != nil {
 		return 0, err
 	}
@@ -231,36 +333,18 @@ func (s *Suite) AloneIPCWays(name string, ways int) (float64, error) {
 	for i := 0; i < steps; i++ {
 		r.Step(dt)
 	}
-	ipc := r.Proc(0).IPC()
-
-	s.mu.Lock()
-	s.aloneW[key] = ipc
-	if ways == m.LLCWays {
-		s.alone[name] = ipc
-	}
-	s.mu.Unlock()
-	return ipc, nil
+	return r.Proc(0).IPC(), nil
 }
 
 // Run executes (memoised) one co-located workload under one policy for the
 // given horizon in periods.
 func (s *Suite) Run(w Workload, pol PolicyName, horizon int) (Result, error) {
 	key := runKey{w, pol, horizon}
-	s.mu.Lock()
-	if r, ok := s.runs[key]; ok {
-		s.mu.Unlock()
-		return r, nil
-	}
-	s.mu.Unlock()
-
-	res, err := s.runUncached(w, pol, horizon)
-	if err != nil {
-		return Result{}, err
-	}
-	s.mu.Lock()
-	s.runs[key] = res
-	s.mu.Unlock()
-	return res, nil
+	e := s.runSh[key.shard()].entry(key, func() *runEntry { return &runEntry{} })
+	e.once.Do(func() {
+		e.res, e.err = s.runUncached(w, pol, horizon)
+	})
+	return e.res, e.err
 }
 
 // StaticRun executes one workload under an arbitrary static partition with
@@ -294,10 +378,11 @@ func (s *Suite) run(w Workload, p policy.Policy, polName PolicyName, horizon int
 		return Result{}, err
 	}
 
-	r, err := sim.New(m, 2)
+	r, err := s.getRunner(2)
 	if err != nil {
 		return Result{}, err
 	}
+	defer s.putRunner(r)
 	if err := r.Attach(0, policy.HPClos, hpProf); err != nil {
 		return Result{}, err
 	}

@@ -9,7 +9,6 @@ import (
 	"dicer/internal/policy"
 	"dicer/internal/report"
 	"dicer/internal/resctrl"
-	"dicer/internal/sim"
 
 	"dicer/internal/app"
 )
@@ -301,10 +300,11 @@ func (s *Suite) runExtensionVariant(w Workload, vi int) (hpNorm, efu float64, er
 	if err != nil {
 		return 0, 0, err
 	}
-	r, err := sim.New(s.cfg.Machine, 2)
+	r, err := s.getRunner(2)
 	if err != nil {
 		return 0, 0, err
 	}
+	defer s.putRunner(r)
 	if err := r.Attach(0, policy.HPClos, hpProf); err != nil {
 		return 0, 0, err
 	}

@@ -12,7 +12,6 @@ import (
 	"dicer/internal/policy"
 	"dicer/internal/report"
 	"dicer/internal/resctrl"
-	"dicer/internal/sim"
 )
 
 // SoakConfig drives the chaos soak harness: the full DICER control loop
@@ -74,11 +73,11 @@ type SoakRun struct {
 	FaultFreeHPIPC float64 // same workload, no faults
 	Degradation    float64 // max(0, 1 - HPIPC/FaultFreeHPIPC)
 
-	Stats            chaos.Stats // faults actually injected
-	ToleratedFaults  int         // Observe errors tolerated (injected writes)
-	InvariantChecks  int         // per-period checks performed
-	FinalHPWays      int
-	Fingerprint      uint64 // FNV-1a over the per-period trajectory
+	Stats           chaos.Stats // faults actually injected
+	ToleratedFaults int         // Observe errors tolerated (injected writes)
+	InvariantChecks int         // per-period checks performed
+	FinalHPWays     int
+	Fingerprint     uint64 // FNV-1a over the per-period trajectory
 }
 
 // SoakResult aggregates a soak matrix.
@@ -146,7 +145,6 @@ func (s *Suite) Soak(cfg SoakConfig) (*SoakResult, error) {
 // soakRun executes one cell: the DICER controller on the suite's machine
 // under one fault schedule, invariants checked after every period.
 func (s *Suite) soakRun(w Workload, sched chaos.Config, seed int64, horizon int) (SoakRun, error) {
-	m := s.cfg.Machine
 	hpProf, err := app.ByName(w.HP)
 	if err != nil {
 		return SoakRun{}, err
@@ -155,10 +153,11 @@ func (s *Suite) soakRun(w Workload, sched chaos.Config, seed int64, horizon int)
 	if err != nil {
 		return SoakRun{}, err
 	}
-	r, err := sim.New(m, 2)
+	r, err := s.getRunner(2)
 	if err != nil {
 		return SoakRun{}, err
 	}
+	defer s.putRunner(r)
 	if err := r.Attach(0, policy.HPClos, hpProf); err != nil {
 		return SoakRun{}, err
 	}

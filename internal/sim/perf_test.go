@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"testing"
+
+	"dicer/internal/app"
+	"dicer/internal/cache"
+)
+
+// tenCoreRunner builds the standard HP + 9 BE co-location under a
+// CT-style split, the shape every experiment drives.
+func tenCoreRunner(tb testing.TB) *Runner {
+	tb.Helper()
+	r, err := New(testMachine(), 2)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := r.Attach(0, 0, app.MustByName("omnetpp1")); err != nil {
+		tb.Fatal(err)
+	}
+	for i := 1; i < 10; i++ {
+		if err := r.Attach(i, 1, app.MustByName("gcc_base1")); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := r.SetMask(0, cache.ContiguousMask(1, 19)); err != nil {
+		tb.Fatal(err)
+	}
+	if err := r.SetMask(1, cache.ContiguousMask(0, 1)); err != nil {
+		tb.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkStepUncached forces a full share + bandwidth re-solve every
+// step by alternating the HP mask (each SetMask bumps the change epoch),
+// the worst case a policy can inflict once per period.
+func BenchmarkStepUncached(b *testing.B) {
+	r := tenCoreRunner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			_ = r.SetMask(0, cache.ContiguousMask(1, 19))
+		} else {
+			_ = r.SetMask(0, cache.ContiguousMask(2, 18))
+		}
+		r.Step(0.25)
+	}
+}
+
+// BenchmarkStepSteadyState measures the cached path: no mask changes, so
+// Steps between phase transitions skip both solves entirely.
+func BenchmarkStepSteadyState(b *testing.B) {
+	r := tenCoreRunner(b)
+	r.Step(0.25) // prime the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step(0.25)
+	}
+}
+
+// TestStepZeroAllocsSteadyState is the allocation guard the ISSUE 2
+// acceptance criteria pin: steady-state Step must be 0 allocs/op. The
+// window is long enough to cross phase transitions, so the re-solve path
+// is covered too — all its working storage is Runner-owned scratch.
+func TestStepZeroAllocsSteadyState(t *testing.T) {
+	r := tenCoreRunner(t)
+	r.Step(0.25)
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Step(0.25)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Step allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestStepZeroAllocsAfterMask extends the guard to the uncached path: a
+// mask flip forces the full share + bandwidth re-solve, which must also
+// run out of scratch buffers.
+func TestStepZeroAllocsAfterMask(t *testing.T) {
+	r := tenCoreRunner(t)
+	r.Step(0.25)
+	flip := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		if flip%2 == 0 {
+			_ = r.SetMask(0, cache.ContiguousMask(1, 19))
+		} else {
+			_ = r.SetMask(0, cache.ContiguousMask(2, 18))
+		}
+		flip++
+		r.Step(0.25)
+	})
+	if allocs != 0 {
+		t.Fatalf("uncached Step allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestStepEquivalenceReference locks the optimized solver to the retained
+// reference implementation: identical masks, caps, parking events and
+// steps must produce bit-identical per-proc counters and operating points.
+func TestStepEquivalenceReference(t *testing.T) {
+	build := func() *Runner { return tenCoreRunner(t) }
+	opt := build()
+	ref := build()
+	ref.UseReferenceSolver(true)
+
+	type event struct {
+		step  int
+		apply func(r *Runner)
+	}
+	events := []event{
+		{3, func(r *Runner) { _ = r.SetMask(0, cache.ContiguousMask(4, 16)) }},
+		{3, func(r *Runner) { _ = r.SetMask(1, cache.ContiguousMask(0, 4)) }},
+		{7, func(r *Runner) { _ = r.SetBWCap(1, 20) }},
+		{11, func(r *Runner) { _ = r.SetCoreParked(9, true) }},
+		{15, func(r *Runner) { _ = r.SetCoreParked(9, false) }},
+		{19, func(r *Runner) { _ = r.SetBWCap(1, 0) }},
+		{23, func(r *Runner) { _ = r.SetMask(0, cache.ContiguousMask(1, 19)) }},
+		{23, func(r *Runner) { _ = r.SetMask(1, cache.ContiguousMask(0, 1)) }},
+	}
+	for step := 0; step < 40; step++ {
+		for _, ev := range events {
+			if ev.step == step {
+				ev.apply(opt)
+				ev.apply(ref)
+			}
+		}
+		opt.Step(0.25)
+		ref.Step(0.25)
+		if opt.Inflation() != ref.Inflation() || opt.Utilisation() != ref.Utilisation() {
+			t.Fatalf("step %d: operating point diverged: inflation %v vs %v, util %v vs %v",
+				step, opt.Inflation(), ref.Inflation(), opt.Utilisation(), ref.Utilisation())
+		}
+		for core := 0; core < 10; core++ {
+			po, pr := opt.Proc(core), ref.Proc(core)
+			if po.Instructions != pr.Instructions || po.Cycles != pr.Cycles || po.MemBytes != pr.MemBytes {
+				t.Fatalf("step %d core %d: counters diverged: instr %v vs %v, cycles %v vs %v, bytes %v vs %v",
+					step, core, po.Instructions, pr.Instructions, po.Cycles, pr.Cycles, po.MemBytes, pr.MemBytes)
+			}
+		}
+	}
+	so, sr := opt.Snapshot(), ref.Snapshot()
+	for c := range so.Clos {
+		if so.Clos[c].MemBytes != sr.Clos[c].MemBytes || so.Clos[c].OccupancyBytes != sr.Clos[c].OccupancyBytes {
+			t.Fatalf("clos %d: snapshot diverged: %+v vs %+v", c, so.Clos[c], sr.Clos[c])
+		}
+	}
+}
+
+// TestRunnerReset verifies a pooled Runner behaves like a fresh one after
+// Reset: same trajectory from the same inputs.
+func TestRunnerReset(t *testing.T) {
+	fresh := tenCoreRunner(t)
+	for i := 0; i < 10; i++ {
+		fresh.Step(0.25)
+	}
+
+	reused := tenCoreRunner(t)
+	for i := 0; i < 5; i++ {
+		reused.Step(0.25)
+	}
+	if err := reused.Reset(2); err != nil {
+		t.Fatal(err)
+	}
+	if reused.Time() != 0 {
+		t.Fatalf("Reset left time at %v", reused.Time())
+	}
+	if reused.Proc(0) != nil {
+		t.Fatal("Reset left a process attached")
+	}
+	if reused.Mask(0) != testMachine().FullMask() || reused.Mask(1) != testMachine().FullMask() {
+		t.Fatal("Reset did not restore full masks")
+	}
+	// Rebuild the same scenario on the reused Runner.
+	if err := reused.Attach(0, 0, app.MustByName("omnetpp1")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 10; i++ {
+		if err := reused.Attach(i, 1, app.MustByName("gcc_base1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = reused.SetMask(0, cache.ContiguousMask(1, 19))
+	_ = reused.SetMask(1, cache.ContiguousMask(0, 1))
+	for i := 0; i < 10; i++ {
+		reused.Step(0.25)
+	}
+	for core := 0; core < 10; core++ {
+		pf, pr := fresh.Proc(core), reused.Proc(core)
+		if pf.Instructions != pr.Instructions || pf.Cycles != pr.Cycles || pf.MemBytes != pr.MemBytes {
+			t.Fatalf("core %d: pooled Runner diverged from fresh after Reset", core)
+		}
+	}
+}

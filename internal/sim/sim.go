@@ -26,6 +26,18 @@
 //     crossing phase boundaries and restarting on completion; cumulative
 //     per-core and per-CLOS counters are updated.
 //
+// Both solves are deterministic functions of inputs that change only at
+// period boundaries and phase transitions — CLOS masks, bandwidth caps,
+// the parked set, and each process's current phase — not every Step. The
+// Runner therefore caches the solved operating point behind a
+// change-detection epoch: SetMask/SetBWCap/SetCoreParked/Attach bump the
+// epoch, and a per-process phase fingerprint is compared at each Step.
+// When nothing changed, Step is just the Advance loop; when something did,
+// the solves rerun into scratch buffers owned by the Runner, so the hot
+// path performs no allocation in either case. The pre-optimisation solver
+// is retained verbatim in reference.go and equivalence tests hold the two
+// to identical trajectories.
+//
 // The simulator exposes exactly the observables Intel RDT exposes —
 // per-core instructions/cycles, per-CLOS LLC occupancy (CMT) and memory
 // bandwidth (MBM) — which internal/resctrl wraps in a resctrl-like API.
@@ -47,19 +59,50 @@ import (
 const shareIters = 12
 
 // Runner simulates one server. It is not safe for concurrent use; run one
-// Runner per goroutine (experiments do exactly that).
+// Runner per goroutine (experiments do exactly that — Suite keeps a pool).
 type Runner struct {
-	m     machine.Machine
-	masks []uint64 // per-CLOS capacity bit-mask
-	procs []*slot
-	caps  []float64 // per-CLOS bandwidth cap in GBps (0 = uncapped)
+	m         machine.Machine
+	masks     []uint64 // per-CLOS capacity bit-mask
+	procs     []*slot
+	caps      []float64 // per-CLOS bandwidth cap in GBps (0 = uncapped)
+	coreIndex []int     // core -> index into procs, -1 when empty
+	anyCaps   bool      // true iff any caps entry is non-zero
 
 	time float64
 
-	// Scratch buffers reused across Steps to keep the hot path
+	// Change detection. epoch is bumped by every mutation that can move
+	// the solved operating point (masks, caps, parked set, attach/reset);
+	// lastPhases records each process's phase index at the last solve.
+	// The cached solve is valid only while both match.
+	epoch       uint64
+	solvedEpoch uint64
+	sharesValid bool
+	bwValid     bool
+	lastPhases  []int
+
+	// Solved operating point (valid per the flags above).
+	shares    []float64 // per-proc cache capacity in bytes
+	pressure  []float64
+	opMiss    []float64 // per-proc miss ratio at (shares[i], current phase)
+	curBF     float64   // co-location base-CPI factor at the last solve
+	throttles []float64 // per-CLOS MBA throttle at the solved inflation
+
+	// Scratch buffers reused across solves to keep the hot path
 	// allocation-free.
-	shares   []float64
-	pressure []float64
+	reach     []float64
+	capsBuf   []float64
+	allocBuf  []float64
+	activeBuf []int
+	wfLive    []int
+	regionSig []uint64 // way regions keyed by sharer signature
+	regionCap []float64
+	regionCnt []int
+	thrVal    []float64 // per-CLOS throttle memo within one demand eval
+	thrSet    []bool
+
+	// demandFn is the bandwidth-demand closure handed to membw.Link.Solve,
+	// bound once at construction so Step allocates nothing.
+	demandFn membw.Demand
 
 	// Cumulative per-CLOS memory traffic in bytes.
 	closBytes []float64
@@ -67,6 +110,10 @@ type Runner struct {
 	// Last solved operating point, for inspection.
 	lastInflation float64
 	lastUtil      float64
+
+	// useReference routes Step through the retained pre-optimisation
+	// solver (reference.go); equivalence tests flip it.
+	useReference bool
 }
 
 // slot binds a process to a core and CLOS.
@@ -86,16 +133,57 @@ func New(m machine.Machine, closCount int) (*Runner, error) {
 	if closCount <= 0 {
 		return nil, fmt.Errorf("sim: non-positive CLOS count %d", closCount)
 	}
-	r := &Runner{
-		m:         m,
-		masks:     make([]uint64, closCount),
-		caps:      make([]float64, closCount),
-		closBytes: make([]float64, closCount),
-	}
-	for i := range r.masks {
-		r.masks[i] = m.FullMask()
-	}
+	r := &Runner{m: m}
+	r.demandFn = r.bwDemand
+	r.regionSig = make([]uint64, m.LLCWays)
+	r.regionCap = make([]float64, m.LLCWays)
+	r.regionCnt = make([]int, m.LLCWays)
+	r.coreIndex = make([]int, m.Cores)
+	r.resetState(closCount)
 	return r, nil
+}
+
+// Reset returns the Runner to its freshly constructed state with closCount
+// classes of service, keeping its scratch buffers. A Reset Runner behaves
+// exactly like one from New on the same machine; experiment drivers pool
+// Runners through it to keep the sweep allocation-light.
+func (r *Runner) Reset(closCount int) error {
+	if closCount <= 0 {
+		return fmt.Errorf("sim: non-positive CLOS count %d", closCount)
+	}
+	r.resetState(closCount)
+	return nil
+}
+
+// resetState (re)initialises all mutable state for closCount CLOS.
+func (r *Runner) resetState(closCount int) {
+	r.masks = growU64(r.masks, closCount)
+	r.caps = growF64(r.caps, closCount)
+	r.closBytes = growF64(r.closBytes, closCount)
+	r.throttles = growF64(r.throttles, closCount)
+	r.thrVal = growF64(r.thrVal, closCount)
+	r.thrSet = growBool(r.thrSet, closCount)
+	for i := 0; i < closCount; i++ {
+		r.masks[i] = r.m.FullMask()
+		r.caps[i] = 0
+		r.closBytes[i] = 0
+	}
+	for i := range r.coreIndex {
+		r.coreIndex[i] = -1
+	}
+	r.procs = r.procs[:0]
+	r.anyCaps = false
+	r.time = 0
+	r.lastInflation = 0
+	r.lastUtil = 0
+	r.invalidate()
+}
+
+// invalidate discards the cached operating point.
+func (r *Runner) invalidate() {
+	r.epoch++
+	r.sharesValid = false
+	r.bwValid = false
 }
 
 // Machine returns the simulated platform.
@@ -110,17 +198,25 @@ func (r *Runner) Attach(core, clos int, prof app.Profile) error {
 	if clos < 0 || clos >= len(r.masks) {
 		return fmt.Errorf("sim: clos %d out of range [0,%d)", clos, len(r.masks))
 	}
-	for _, s := range r.procs {
-		if s.core == core {
-			return fmt.Errorf("sim: core %d already occupied", core)
-		}
+	if r.coreIndex[core] >= 0 {
+		return fmt.Errorf("sim: core %d already occupied", core)
 	}
 	if err := prof.Validate(); err != nil {
 		return err
 	}
+	r.coreIndex[core] = len(r.procs)
 	r.procs = append(r.procs, &slot{core: core, clos: clos, proc: app.NewProc(prof)})
-	r.shares = make([]float64, len(r.procs))
-	r.pressure = make([]float64, len(r.procs))
+	n := len(r.procs)
+	r.shares = growF64(r.shares, n)
+	r.pressure = growF64(r.pressure, n)
+	r.opMiss = growF64(r.opMiss, n)
+	r.reach = growF64(r.reach, n)
+	r.capsBuf = growF64(r.capsBuf, n)
+	r.allocBuf = growF64(r.allocBuf, n)
+	r.lastPhases = growInt(r.lastPhases, n)
+	r.activeBuf = growInt(r.activeBuf, n)[:0]
+	r.wfLive = growInt(r.wfLive, n)[:0]
+	r.invalidate()
 	return nil
 }
 
@@ -134,6 +230,7 @@ func (r *Runner) SetMask(clos int, mask uint64) error {
 		return err
 	}
 	r.masks[clos] = mask
+	r.invalidate()
 	return nil
 }
 
@@ -153,6 +250,14 @@ func (r *Runner) SetBWCap(clos int, gbps float64) error {
 		return fmt.Errorf("sim: negative bandwidth cap %g", gbps)
 	}
 	r.caps[clos] = gbps
+	r.anyCaps = false
+	for _, c := range r.caps {
+		if c > 0 {
+			r.anyCaps = true
+			break
+		}
+	}
+	r.invalidate()
 	return nil
 }
 
@@ -161,9 +266,10 @@ func (r *Runner) SetBWCap(clos int, gbps float64) error {
 // consumes no bandwidth until unparked. This models the thread-packing
 // actuator that the paper's §6 BE-count extension needs.
 func (r *Runner) SetCoreParked(core int, parked bool) error {
-	for _, s := range r.procs {
-		if s.core == core {
-			s.parked = parked
+	if core >= 0 && core < len(r.coreIndex) {
+		if idx := r.coreIndex[core]; idx >= 0 {
+			r.procs[idx].parked = parked
+			r.invalidate()
 			return nil
 		}
 	}
@@ -172,9 +278,9 @@ func (r *Runner) SetCoreParked(core int, parked bool) error {
 
 // CoreParked reports whether the core is parked.
 func (r *Runner) CoreParked(core int) bool {
-	for _, s := range r.procs {
-		if s.core == core {
-			return s.parked
+	if core >= 0 && core < len(r.coreIndex) {
+		if idx := r.coreIndex[core]; idx >= 0 {
+			return r.procs[idx].parked
 		}
 	}
 	return false
@@ -185,18 +291,96 @@ func (r *Runner) Time() float64 { return r.time }
 
 // Proc returns the process attached to core, or nil.
 func (r *Runner) Proc(core int) *app.Proc {
-	for _, s := range r.procs {
-		if s.core == core {
-			return s.proc
+	if core >= 0 && core < len(r.coreIndex) {
+		if idx := r.coreIndex[core]; idx >= 0 {
+			return r.procs[idx].proc
 		}
 	}
 	return nil
 }
 
-// solveShares computes the cache capacity available to each process given
-// the current masks, via pressure-proportional division of way regions.
-// Results land in r.shares (bytes per process, indexed like r.procs).
+// UseReferenceSolver routes all subsequent Steps (and share solves)
+// through the retained pre-optimisation solver in reference.go instead of
+// the cached allocation-free one. Solver-equivalence tests run the same
+// scenario both ways and require identical trajectories; production code
+// never sets this.
+func (r *Runner) UseReferenceSolver(on bool) {
+	r.useReference = on
+	r.invalidate()
+}
+
+// solveShares brings r.shares up to date with the current masks, parked
+// set and phases. Kept as the single entry point so tests and Snapshot
+// share the cache (or the reference path when selected).
 func (r *Runner) solveShares() {
+	if r.useReference {
+		r.referenceSolveShares()
+		return
+	}
+	r.ensureShares()
+}
+
+// phasesUnchanged reports whether every process is still in the phase it
+// was in at the last solve.
+func (r *Runner) phasesUnchanged() bool {
+	for i, s := range r.procs {
+		if r.lastPhases[i] != s.proc.PhaseIndex() {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureShares re-solves the cache sharing iff a mask/cap/parked mutation
+// (epoch) or a phase transition invalidated the cached result.
+func (r *Runner) ensureShares() {
+	if len(r.procs) == 0 {
+		return
+	}
+	if r.sharesValid && r.solvedEpoch == r.epoch && r.phasesUnchanged() {
+		return
+	}
+	r.solveSharesFull()
+	for i, s := range r.procs {
+		r.lastPhases[i] = s.proc.PhaseIndex()
+		if s.parked {
+			r.opMiss[i] = 0
+			continue
+		}
+		r.opMiss[i] = s.proc.Phase().Curve.MissRatio(r.shares[i])
+	}
+	r.sharesValid = true
+	r.solvedEpoch = r.epoch
+	r.bwValid = false
+}
+
+// ensureOperatingPoint extends ensureShares with the bandwidth fixed
+// point: equilibrium latency inflation and per-CLOS MBA throttles.
+func (r *Runner) ensureOperatingPoint() {
+	r.ensureShares()
+	if r.bwValid {
+		return
+	}
+	util, inflation := r.m.Link.Solve(r.demandFn)
+	r.lastUtil = util
+	r.lastInflation = inflation
+	for c := range r.throttles {
+		r.throttles[c] = 1
+	}
+	if r.anyCaps {
+		for c := range r.throttles {
+			r.throttles[c] = r.throttleAt(c, inflation)
+		}
+	}
+	r.bwValid = true
+}
+
+// solveSharesFull computes the cache capacity available to each process
+// given the current masks, via pressure-proportional division of way
+// regions. Results land in r.shares (bytes per process, indexed like
+// r.procs). All working storage is scratch owned by the Runner; region
+// iteration follows way order, so the result is deterministic.
+func (r *Runner) solveSharesFull() {
 	n := len(r.procs)
 	if n == 0 {
 		return
@@ -205,11 +389,7 @@ func (r *Runner) solveShares() {
 
 	// Group ways into regions keyed by sharer signature. With <=64 procs a
 	// bitmask over procs identifies a region.
-	type region struct {
-		sharers  uint64
-		capacity float64
-	}
-	regions := make(map[uint64]*region, 4)
+	nr := 0
 	for w := 0; w < r.m.LLCWays; w++ {
 		var sig uint64
 		for i, s := range r.procs {
@@ -220,70 +400,79 @@ func (r *Runner) solveShares() {
 		if sig == 0 {
 			continue // way no process can fill: idle capacity
 		}
-		reg := regions[sig]
-		if reg == nil {
-			reg = &region{sharers: sig}
-			regions[sig] = reg
+		idx := -1
+		for j := 0; j < nr; j++ {
+			if r.regionSig[j] == sig {
+				idx = j
+				break
+			}
 		}
-		reg.capacity += wayBytes
+		if idx < 0 {
+			idx = nr
+			nr++
+			r.regionSig[idx] = sig
+			r.regionCap[idx] = 0
+			r.regionCnt[idx] = bits.OnesCount64(sig)
+		}
+		r.regionCap[idx] += wayBytes
 	}
 
 	// Initial pressure: evaluate each process at an equal split of its
 	// reachable capacity.
-	reach := make([]float64, n)
-	sharerCount := make(map[uint64]int, len(regions))
-	for sig, reg := range regions {
-		cnt := bits.OnesCount64(sig)
-		sharerCount[sig] = cnt
+	for i := 0; i < n; i++ {
+		r.reach[i] = 0
+	}
+	for j := 0; j < nr; j++ {
+		sig, cnt := r.regionSig[j], r.regionCnt[j]
 		for i := 0; i < n; i++ {
 			if sig&(1<<uint(i)) != 0 {
-				reach[i] += reg.capacity / float64(cnt)
+				r.reach[i] += r.regionCap[j] / float64(cnt)
 			}
 		}
 	}
 	bf := r.coLocFactor()
-	caps := make([]float64, n)
+	r.curBF = bf
 	for i, s := range r.procs {
 		if s.parked {
 			r.pressure[i] = 0
+			r.capsBuf[i] = 0
 			continue
 		}
-		r.pressure[i] = touchPressure(r.m, s.proc, reach[i], bf)
+		r.pressure[i] = touchPressure(r.m, s.proc, r.reach[i], bf)
 		// The most capacity a process can ever make use of: its resident
 		// demand when offered everything it can reach. Streaming traffic
 		// churns, so OccupancyDemand returns the full offer for apps with
 		// a streaming fraction; bounded apps cap at their footprint.
-		caps[i] = s.proc.Perf(r.m, float64(r.m.LLCBytes), 1, bf).OccupancyB
+		r.capsBuf[i] = s.proc.Phase().Curve.OccupancyDemand(float64(r.m.LLCBytes))
 	}
 
 	// Damped fixed point: water-fill each region by touch rate (hits keep
 	// LRU lines fresh, so retention competition follows total access
 	// intensity, not miss intensity), capped by footprint; re-evaluate
 	// touch rates at the resulting shares.
-	active := make([]int, 0, n)
-	alloc := make([]float64, n)
+	active := r.activeBuf[:0]
 	for iter := 0; iter < shareIters; iter++ {
 		for i := range r.shares {
 			r.shares[i] = 0
 		}
-		for sig, reg := range regions {
-			if sharerCount[sig] == 1 {
+		for j := 0; j < nr; j++ {
+			sig := r.regionSig[j]
+			if r.regionCnt[j] == 1 {
 				// Exclusive region: owner takes all. (Index of the single
 				// set bit.)
-				i := bits.TrailingZeros64(sig)
-				r.shares[i] += reg.capacity
+				r.shares[bits.TrailingZeros64(sig)] += r.regionCap[j]
 				continue
 			}
 			active = active[:0]
 			for i := 0; i < n; i++ {
 				if sig&(1<<uint(i)) != 0 {
 					active = append(active, i)
-					alloc[i] = 0
+					r.allocBuf[i] = 0
 				}
 			}
-			waterfill(reg.capacity, r.pressure, caps, active, alloc)
+			r.wfLive = waterfill(r.regionCap[j], r.pressure, r.capsBuf, active, r.allocBuf, r.wfLive)
 			for _, i := range active {
-				r.shares[i] += alloc[i]
+				r.shares[i] += r.allocBuf[i]
 			}
 		}
 		for i, s := range r.procs {
@@ -294,15 +483,18 @@ func (r *Runner) solveShares() {
 			r.pressure[i] = 0.5*r.pressure[i] + 0.5*p
 		}
 	}
+	r.activeBuf = active[:0]
 }
 
 // waterfill divides capacity among the active processes in proportion to
 // their weights, capping each allocation at caps[i] and redistributing the
 // excess to the remaining processes. Results are written into alloc at the
-// active indices.
-func waterfill(capacity float64, weights, caps []float64, active []int, alloc []float64) {
+// active indices. live is scratch storage (contents ignored); the possibly
+// regrown buffer is returned for reuse. active itself is never modified.
+func waterfill(capacity float64, weights, caps []float64, active []int, alloc []float64, live []int) []int {
 	remaining := capacity
-	live := append([]int(nil), active...)
+	live = append(live[:0], active...)
+	scratch := live
 	for len(live) > 0 && remaining > 1e-9 {
 		var totW float64
 		for _, i := range live {
@@ -340,9 +532,10 @@ func waterfill(capacity float64, weights, caps []float64, active []int, alloc []
 			for _, i := range live {
 				alloc[i] += remaining * w(i) / tw
 			}
-			return
+			return scratch
 		}
 	}
+	return scratch
 }
 
 // touchPressure is the rate at which a process touches LLC lines at the
@@ -351,8 +544,87 @@ func waterfill(capacity float64, weights, caps []float64, active []int, alloc []
 // intensity), evaluated at unit latency inflation — the share solve is
 // about cache geometry, not transient bandwidth state.
 func touchPressure(m machine.Machine, pr *app.Proc, capacity, baseFactor float64) float64 {
-	perf := pr.Perf(m, capacity, 1, baseFactor)
-	return perf.IPC * m.CyclesPerSecond() * pr.Phase().APKI / 1000
+	ph := pr.Phase()
+	perf := app.PhasePerfMiss(m, ph, ph.Curve.MissRatio(capacity), 1, baseFactor)
+	return perf.IPC * m.CyclesPerSecond() * ph.APKI / 1000
+}
+
+// procGbps is one process's bandwidth demand in Gbps at the given
+// inflation factor, using the memoised miss ratio for its current share
+// and phase. Arithmetic matches the original per-step Perf evaluation
+// term for term.
+func (r *Runner) procGbps(i int, inflation float64) float64 {
+	s := r.procs[i]
+	perf := app.PhasePerfMiss(r.m, s.proc.Phase(), r.opMiss[i], inflation, r.curBF)
+	return membw.BytesToGbps(perf.BytesPerSec, 1)
+}
+
+// closDemand is the bandwidth demand of one CLOS's processes at combined
+// inflation f*t (the MBA throttle bisection's objective).
+func (r *Runner) closDemand(clos int, f, t float64) float64 {
+	var sum float64
+	for i, s := range r.procs {
+		if s.clos == clos && !s.parked {
+			sum += r.procGbps(i, f*t)
+		}
+	}
+	return sum
+}
+
+// throttleAt solves the per-CLOS MBA throttle factor at inflation f
+// (1 = no throttle). A cap behaves like extra latency for that CLOS's
+// processes only: throttle t such that the CLOS demand at combined
+// inflation f*t meets the cap.
+func (r *Runner) throttleAt(clos int, f float64) float64 {
+	cap := r.caps[clos]
+	if cap <= 0 {
+		return 1
+	}
+	if r.closDemand(clos, f, 1) <= cap {
+		return 1
+	}
+	lo, hi := 1.0, 64.0
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if r.closDemand(clos, f, mid) > cap {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// bwDemand is the total offered load in Gbps at latency-inflation factor
+// f — the demand curve handed to membw.Link.Solve. With no MBA caps set
+// (the common case) the throttle path short-circuits entirely; otherwise
+// each CLOS's throttle is solved once per evaluation and shared by its
+// processes.
+func (r *Runner) bwDemand(f float64) float64 {
+	var total float64
+	if !r.anyCaps {
+		for i, s := range r.procs {
+			if s.parked {
+				continue
+			}
+			total += r.procGbps(i, f)
+		}
+		return total
+	}
+	for c := range r.thrSet {
+		r.thrSet[c] = false
+	}
+	for i, s := range r.procs {
+		if s.parked {
+			continue
+		}
+		if !r.thrSet[s.clos] {
+			r.thrVal[s.clos] = r.throttleAt(s.clos, f)
+			r.thrSet[s.clos] = true
+		}
+		total += r.procGbps(i, f*r.thrVal[s.clos])
+	}
+	return total
 }
 
 // Step advances the simulation by dt seconds.
@@ -360,61 +632,17 @@ func (r *Runner) Step(dt float64) {
 	if dt <= 0 {
 		panic(fmt.Sprintf("sim: non-positive step %g", dt))
 	}
+	if r.useReference {
+		r.stepReference(dt)
+		return
+	}
 	if len(r.procs) == 0 {
 		r.time += dt
 		return
 	}
 
-	r.solveShares()
-	bf := r.coLocFactor()
-
-	// Per-CLOS MBA throttle factors (1 = no throttle). A cap behaves like
-	// extra latency for that CLOS's processes only: throttle t such that
-	// the CLOS demand at combined inflation f*t meets the cap.
-	throttle := func(clos int, f float64) float64 {
-		cap := r.caps[clos]
-		if cap <= 0 {
-			return 1
-		}
-		demand := func(t float64) float64 {
-			var sum float64
-			for i, s := range r.procs {
-				if s.clos == clos && !s.parked {
-					sum += membw.BytesToGbps(s.proc.Perf(r.m, r.shares[i], f*t, bf).BytesPerSec, 1)
-				}
-			}
-			return sum
-		}
-		if demand(1) <= cap {
-			return 1
-		}
-		lo, hi := 1.0, 64.0
-		for i := 0; i < 40; i++ {
-			mid := (lo + hi) / 2
-			if demand(mid) > cap {
-				lo = mid
-			} else {
-				hi = mid
-			}
-		}
-		return (lo + hi) / 2
-	}
-
-	// Global bandwidth fixed point over the latency-inflation factor.
-	demandAt := func(f float64) float64 {
-		var total float64
-		for i, s := range r.procs {
-			if s.parked {
-				continue
-			}
-			t := throttle(s.clos, f)
-			total += membw.BytesToGbps(s.proc.Perf(r.m, r.shares[i], f*t, bf).BytesPerSec, 1)
-		}
-		return total
-	}
-	util, inflation := r.m.Link.Solve(demandAt)
-	r.lastInflation = inflation
-	r.lastUtil = util
+	r.ensureOperatingPoint()
+	inflation := r.lastInflation
 
 	// Advance processes at the solved operating point.
 	for i, s := range r.procs {
@@ -425,9 +653,9 @@ func (r *Runner) Step(dt float64) {
 			s.proc.Cycles += dt * r.m.CyclesPerSecond()
 			continue
 		}
-		t := throttle(s.clos, inflation)
+		t := r.throttles[s.clos]
 		before := s.proc.MemBytes
-		s.proc.Advance(r.m, r.shares[i], inflation*t, bf, dt)
+		s.proc.AdvanceMiss(r.m, r.shares[i], r.opMiss[i], inflation*t, r.curBF, dt)
 		r.closBytes[s.clos] += s.proc.MemBytes - before
 	}
 	r.time += dt
@@ -528,4 +756,35 @@ func (r *Runner) lastInflationOr1() float64 {
 		return 1
 	}
 	return r.lastInflation
+}
+
+// grow helpers: reslice when capacity suffices, reallocate otherwise.
+// Callers fully overwrite the live prefix before reading it.
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]uint64, n)
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]bool, n)
 }

@@ -424,9 +424,15 @@ func TestPropertyWaterfill(t *testing.T) {
 			totCap += caps[i]
 		}
 		capacity := float64(capRaw%2000) + 1
-		waterfill(capacity, weights, caps, active, alloc)
+		waterfill(capacity, weights, caps, active, alloc, nil)
+		// The scratch-buffer variant must match the reference bit for bit.
+		refAlloc := make([]float64, n)
+		referenceWaterfill(capacity, weights, caps, active, refAlloc)
 		var sum float64
 		for i := 0; i < n; i++ {
+			if alloc[i] != refAlloc[i] {
+				return false
+			}
 			if alloc[i] < -1e-9 || alloc[i] > caps[i]+1e-6 {
 				return false
 			}
