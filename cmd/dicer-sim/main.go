@@ -36,9 +36,19 @@ func main() {
 		chaosN     = flag.String("chaos", "none", "fault schedule: none | "+strings.Join(chaosNames(), " | "))
 		chaosS     = flag.Int64("chaos-seed", 1, "seed for the chaos fault stream (replays bit-identically)")
 		guard      = flag.Bool("guard", false, "machine-check controller invariants after every period")
+		traceOut   = flag.String("trace-out", "", "write a replayable JSONL trace of the run to this file")
+		serveAddr  = flag.String("serve", "", "loop the scenario and serve /metrics, /trace and /healthz on this address (e.g. :9090)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *serveAddr != "" {
+		err := runServe(*serveAddr, serveParams{
+			hp: *hp, be: *be, n: *n, periods: *periods, policy: *polName,
+			chaosName: *chaosN, chaosSeed: *chaosS, guard: *guard,
+		})
+		fatal(err)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -63,17 +73,19 @@ func main() {
 		}
 	}
 
-	sc := dicer.NewScenario(*hp, *be, *n)
-	sc.HorizonPeriods = *periods
+	sc, err := buildScenario(*hp, *be, *n, *periods, *guard, *chaosN, *chaosS)
+	if err != nil {
+		fatal(err)
+	}
 	sc.WithMBA = withMBA
-	sc.CheckInvariants = *guard
-	if *chaosN != "none" {
-		cfg, err := dicer.ChaosScheduleByName(*chaosN)
-		if err != nil {
+	var traceFile *os.File
+	var traceSink *dicer.TraceJSONL
+	if *traceOut != "" {
+		if traceFile, err = os.Create(*traceOut); err != nil {
 			fatal(err)
 		}
-		sc.Chaos = &cfg
-		sc.ChaosSeed = *chaosS
+		traceSink = dicer.NewTraceJSONL(traceFile)
+		sc.Trace = traceSink
 	}
 	var tl *dicer.Timeline
 	if *timeline != "" {
@@ -130,6 +142,40 @@ func main() {
 		fmt.Printf("  timeline          %s (%d periods, HP ways ranged %d..%d)\n",
 			*timeline, len(tl.Entries), lo, hi)
 	}
+	if traceSink != nil {
+		if err := traceSink.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  trace             %s (verify with: dicer-trace replay %s)\n",
+			*traceOut, *traceOut)
+	}
+}
+
+// buildScenario constructs the scenario the flags describe; trace and
+// timeline wiring is left to the caller. Shared by the one-shot path and
+// the -serve loop.
+func buildScenario(hp, be string, n, periods int, guard bool, chaosName string, chaosSeed int64) (*dicer.Scenario, error) {
+	if _, err := dicer.AppByName(hp); err != nil {
+		return nil, err
+	}
+	if _, err := dicer.AppByName(be); err != nil {
+		return nil, err
+	}
+	sc := dicer.NewScenario(hp, be, n)
+	sc.HorizonPeriods = periods
+	sc.CheckInvariants = guard
+	if chaosName != "none" && chaosName != "" {
+		cfg, err := dicer.ChaosScheduleByName(chaosName)
+		if err != nil {
+			return nil, err
+		}
+		sc.Chaos = &cfg
+		sc.ChaosSeed = chaosSeed
+	}
+	return sc, nil
 }
 
 // buildPolicy parses the -policy flag. hpName is needed for controllers

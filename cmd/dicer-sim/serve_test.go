@@ -1,0 +1,91 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dicer"
+)
+
+// TestServeEndpoints runs one short lap synchronously and scrapes the
+// three endpoints through httptest — the serve mode without a socket.
+func TestServeEndpoints(t *testing.T) {
+	st := newServeState()
+	p := serveParams{hp: "omnetpp1", be: "gcc_base1", n: 9, periods: 12, policy: "dicer"}
+	// Two laps: /trace must serve the latest *complete* lap, so a
+	// multi-lap loop still yields a replayable trace of exactly one run.
+	for lap := 0; lap < 2; lap++ {
+		if err := st.runOnce(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(st.mux())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/healthz")
+	if code != http.StatusOK || !strings.HasPrefix(body, "ok records=24") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{"dicer_records_total 24", "dicer_runs_total 2", "dicer_hp_ways "} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get("/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace = %d", code)
+	}
+	h, recs, err := dicer.ReadTrace(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/trace output unparseable: %v", err)
+	}
+	if h.Policy != "DICER" || h.HP != "omnetpp1" || len(recs) != 12 {
+		t.Fatalf("/trace header/records wrong: %+v, %d records", h, len(recs))
+	}
+	// The served trace is replayable like any recorded one.
+	res, err := dicer.ReplayTrace(h, recs)
+	if err != nil {
+		t.Fatalf("served trace does not replay: %v", err)
+	}
+	if res.Periods != 12 || !res.MasksVerified {
+		t.Fatalf("served-trace replay summary wrong: %+v", res)
+	}
+}
+
+// TestServeTraceBeforeFirstRun: the endpoint degrades gracefully while
+// the first lap is still warming up.
+func TestServeTraceBeforeFirstRun(t *testing.T) {
+	srv := httptest.NewServer(newServeState().mux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/trace before any run = %d, want 503", resp.StatusCode)
+	}
+}

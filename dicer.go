@@ -30,6 +30,8 @@
 package dicer
 
 import (
+	"io"
+
 	"dicer/internal/app"
 	"dicer/internal/cache"
 	"dicer/internal/chaos"
@@ -40,6 +42,7 @@ import (
 	"dicer/internal/membw"
 	"dicer/internal/metrics"
 	"dicer/internal/mrc"
+	"dicer/internal/obs"
 	"dicer/internal/policy"
 	"dicer/internal/resctrl"
 	"dicer/internal/sim"
@@ -109,6 +112,25 @@ type (
 	SoakResult = experiments.SoakResult
 	// SoakRun is one (workload, schedule, seed) soak cell.
 	SoakRun = experiments.SoakRun
+	// TraceRecord is one monitoring period's structured audit entry:
+	// counters read, saturation verdict, controller state and decisions,
+	// masks installed, chaos faults active, guard interventions.
+	TraceRecord = obs.Record
+	// TraceHeader is a trace's first JSONL line: workload, machine and
+	// controller configuration — everything replay needs.
+	TraceHeader = obs.Header
+	// TraceSink consumes one TraceRecord per monitoring period.
+	TraceSink = obs.Sink
+	// TraceRing is the fixed-capacity in-memory sink (the /trace buffer).
+	TraceRing = obs.Ring
+	// TraceJSONL is the JSON-Lines file sink (replayable audit trace).
+	TraceJSONL = obs.JSONL
+	// TraceMulti fans records out to several sinks.
+	TraceMulti = obs.MultiSink
+	// TraceReplayResult summarises a verified trace replay.
+	TraceReplayResult = obs.ReplayResult
+	// PromExporter aggregates trace records into Prometheus text metrics.
+	PromExporter = metrics.Exporter
 )
 
 // ErrChaosInjected marks errors caused by an injected fault; harnesses
@@ -184,6 +206,30 @@ func GuardPolicy(p Policy) *InvariantGuard { return invariant.Wrap(p) }
 func NewSLOMonitor(ipcAlone, slo float64, n int, alarmBelow float64) *SLOMonitor {
 	return metrics.NewSLOMonitor(ipcAlone, slo, n, alarmBelow)
 }
+
+// NewTraceRing builds an in-memory trace sink holding the most recent
+// capacity records; Emit never allocates, so it can stay attached for
+// the lifetime of a deployment.
+func NewTraceRing(capacity int) *TraceRing { return obs.NewRing(capacity) }
+
+// NewTraceJSONL builds a trace sink writing JSON Lines (header first) to
+// w. Call Flush after the run; records are buffered.
+func NewTraceJSONL(w io.Writer) *TraceJSONL { return obs.NewJSONL(w) }
+
+// ReadTrace parses a JSONL trace written by a TraceJSONL sink.
+func ReadTrace(r io.Reader) (TraceHeader, []TraceRecord, error) { return obs.ReadTrace(r) }
+
+// ReplayTrace re-drives a fresh DICER controller from a recorded trace
+// and verifies decision-for-decision equivalence — every captured trace
+// doubles as a regression test. See cmd/dicer-trace for the CLI.
+func ReplayTrace(h TraceHeader, recs []TraceRecord) (TraceReplayResult, error) {
+	return obs.Replay(h, recs)
+}
+
+// NewPromExporter builds a Prometheus-text-format metrics aggregator
+// that doubles as a trace sink; dicer-sim -serve exposes one at
+// /metrics.
+func NewPromExporter() *PromExporter { return metrics.NewExporter() }
 
 // EFU computes the paper's Eq. 1 effective utilisation from normalised
 // IPCs (IPC / IPC_alone, one entry per co-located application).

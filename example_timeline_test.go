@@ -1,0 +1,29 @@
+package dicer_test
+
+import (
+	"fmt"
+
+	"dicer"
+)
+
+// ExampleScenario_AttachTimeline shows the documented timeline wiring:
+// build a scenario, attach a Timeline, run, and inspect the per-period
+// series. The simulator is deterministic, so the output is exact.
+func ExampleScenario_AttachTimeline() {
+	sc := dicer.NewScenario("omnetpp1", "gcc_base1", 9)
+	sc.HorizonPeriods = 20
+
+	tl := &dicer.Timeline{}
+	sc.AttachTimeline(tl)
+	if _, err := sc.Run(dicer.NewDICER()); err != nil {
+		fmt.Println("run failed:", err)
+		return
+	}
+
+	lo, hi := tl.MinMaxHPWays()
+	fmt.Printf("periods recorded: %d\n", len(tl.Entries))
+	fmt.Printf("HP ways ranged %d..%d\n", lo, hi)
+	// Output:
+	// periods recorded: 20
+	// HP ways ranged 6..19
+}

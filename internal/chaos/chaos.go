@@ -116,15 +116,53 @@ func (c Config) Active() bool {
 }
 
 // Stats counts the faults a System actually injected, so tests can assert
-// a schedule fired and reports can show what a run survived.
+// a schedule fired and reports can show what a run survived. The JSON
+// tags are part of the trace-record schema (internal/obs) — per-period
+// fault annotations embed a Stats delta.
 type Stats struct {
-	Reads          int // Counters() calls observed
-	Dropouts       int // empty snapshots served
-	FrozenReads    int // stale snapshots served
-	JitteredReads  int // reads with noise applied
-	Writes         int // SetCBM calls observed
-	WritesRejected int // SetCBM calls errored
-	WritesDelayed  int // SetCBM calls deferred
+	Reads          int `json:"reads"`           // Counters() calls observed
+	Dropouts       int `json:"dropouts"`        // empty snapshots served
+	FrozenReads    int `json:"frozen"`          // stale snapshots served
+	JitteredReads  int `json:"jittered"`        // reads with noise applied
+	Writes         int `json:"writes"`          // SetCBM calls observed
+	WritesRejected int `json:"writes_rejected"` // SetCBM calls errored
+	WritesDelayed  int `json:"writes_delayed"`  // SetCBM calls deferred
+}
+
+// Sub returns the per-field difference s - prev: the faults injected
+// between two snapshots of a running system's cumulative stats. The
+// observability recorder uses it for per-period fault annotations.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Reads:          s.Reads - prev.Reads,
+		Dropouts:       s.Dropouts - prev.Dropouts,
+		FrozenReads:    s.FrozenReads - prev.FrozenReads,
+		JitteredReads:  s.JitteredReads - prev.JitteredReads,
+		Writes:         s.Writes - prev.Writes,
+		WritesRejected: s.WritesRejected - prev.WritesRejected,
+		WritesDelayed:  s.WritesDelayed - prev.WritesDelayed,
+	}
+}
+
+// Add returns the per-field sum s + d — the inverse of Sub, for
+// re-aggregating per-period fault deltas.
+func (s Stats) Add(d Stats) Stats {
+	return Stats{
+		Reads:          s.Reads + d.Reads,
+		Dropouts:       s.Dropouts + d.Dropouts,
+		FrozenReads:    s.FrozenReads + d.FrozenReads,
+		JitteredReads:  s.JitteredReads + d.JitteredReads,
+		Writes:         s.Writes + d.Writes,
+		WritesRejected: s.WritesRejected + d.WritesRejected,
+		WritesDelayed:  s.WritesDelayed + d.WritesDelayed,
+	}
+}
+
+// Injected reports whether any fault at all is counted (reads and writes
+// are bookkeeping, not faults).
+func (s Stats) Injected() bool {
+	return s.Dropouts > 0 || s.FrozenReads > 0 || s.JitteredReads > 0 ||
+		s.WritesRejected > 0 || s.WritesDelayed > 0
 }
 
 func (s Stats) String() string {

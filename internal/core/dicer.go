@@ -441,6 +441,37 @@ func (c *Controller) resumeOptimise(hpIPC float64) {
 	c.clearBW()
 }
 
+// ChainTrace subscribes fn to the controller's decision stream without
+// displacing an existing subscriber: both run, existing first. The
+// observability recorder uses this so audit traces compose with the
+// CLI's -trace printer and test hooks.
+func (c *Controller) ChainTrace(fn func(Event)) {
+	if fn == nil {
+		return
+	}
+	if prev := c.Trace; prev != nil {
+		c.Trace = func(e Event) {
+			prev(e)
+			fn(e)
+		}
+		return
+	}
+	c.Trace = fn
+}
+
+// ControllerOf extracts the DICER controller from a policy that is one or
+// wraps one (the ext policies and the invariant guard expose
+// Controller()). It returns nil for policies without a controller.
+func ControllerOf(p policy.Policy) *Controller {
+	switch v := p.(type) {
+	case *Controller:
+		return v
+	case interface{ Controller() *Controller }:
+		return v.Controller()
+	}
+	return nil
+}
+
 func (c *Controller) emit(kind EventKind, hpIPC, totalBW float64) {
 	if c.Trace == nil {
 		return

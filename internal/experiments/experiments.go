@@ -18,6 +18,7 @@ import (
 	"dicer/internal/core"
 	"dicer/internal/machine"
 	"dicer/internal/metrics"
+	"dicer/internal/obs"
 	"dicer/internal/policy"
 	"dicer/internal/resctrl"
 	"dicer/internal/sim"
@@ -47,6 +48,13 @@ type Config struct {
 	ReferenceSolver bool
 	// DICER returns the controller configuration (Table 1 defaults).
 	DICER core.Config
+	// Trace, when non-nil, is called once per uncached co-located run to
+	// obtain that run's trace sink (nil return disables tracing for that
+	// run). Runs served from the memo cache do not re-execute and so do
+	// not re-emit traces. The callback must be safe for concurrent use
+	// (RunMany executes runs in parallel); each returned sink is used by
+	// exactly one runner.
+	Trace func(w Workload, pol PolicyName) obs.Sink
 }
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -393,6 +401,30 @@ func (s *Suite) run(w Workload, p policy.Policy, polName PolicyName, horizon int
 	}
 
 	emu := resctrl.NewEmu(r, false)
+	var rec *obs.Recorder
+	if s.cfg.Trace != nil {
+		if sink := s.cfg.Trace(w, polName); sink != nil {
+			rec = obs.NewRecorder(sink)
+			ctl := core.ControllerOf(p)
+			rec.AttachController(ctl)
+			h := obs.Header{
+				Schema:         obs.Schema,
+				Policy:         p.Name(),
+				HP:             w.HP,
+				BEs:            []string{w.BE},
+				NumWays:        m.LLCWays,
+				PeriodSec:      s.cfg.PeriodSec,
+				HorizonPeriods: horizon,
+			}
+			if ctl != nil {
+				cfg := ctl.Config()
+				h.Controller = &cfg
+			}
+			if err := rec.Start(h); err != nil {
+				return Result{}, err
+			}
+		}
+	}
 	if err := p.Setup(emu); err != nil {
 		return Result{}, err
 	}
@@ -402,8 +434,13 @@ func (s *Suite) run(w Workload, p policy.Policy, polName PolicyName, horizon int
 		for step := 0; step < s.cfg.StepsPerPeriod; step++ {
 			r.Step(dt)
 		}
-		if err := p.Observe(emu, meter.Sample()); err != nil {
-			return Result{}, err
+		pp := meter.Sample()
+		obsErr := p.Observe(emu, pp)
+		if rec != nil {
+			rec.EndPeriod(period, pp, emu, obsErr)
+		}
+		if obsErr != nil {
+			return Result{}, obsErr
 		}
 	}
 

@@ -9,6 +9,7 @@ import (
 	"dicer/internal/chaos"
 	"dicer/internal/core"
 	"dicer/internal/invariant"
+	"dicer/internal/obs"
 	"dicer/internal/policy"
 	"dicer/internal/report"
 	"dicer/internal/resctrl"
@@ -31,6 +32,12 @@ type SoakConfig struct {
 	// run: chaos HP IPC must stay >= (1-MaxHPDegradation) × fault-free.
 	// 0 means 0.35.
 	MaxHPDegradation float64
+	// Trace, when non-nil, is called once per soak cell (including the
+	// fault-free baselines, schedule "none", seed 0) to obtain that
+	// cell's trace sink; nil return disables tracing for the cell. Soak
+	// records carry the chaos fault deltas and any invariant-guard
+	// verdicts alongside the controller's decisions.
+	Trace func(w Workload, schedule string, seed int64) obs.Sink
 }
 
 func (c *SoakConfig) defaults() {
@@ -107,14 +114,22 @@ func (r *SoakResult) Table() *report.Table {
 func (s *Suite) Soak(cfg SoakConfig) (*SoakResult, error) {
 	cfg.defaults()
 	res := &SoakResult{MaxHPDegradation: cfg.MaxHPDegradation}
+	sinkFor := func(w Workload, schedule string, seed int64) obs.Sink {
+		if cfg.Trace == nil {
+			return nil
+		}
+		return cfg.Trace(w, schedule, seed)
+	}
 	for _, w := range cfg.Workloads {
-		baseline, err := s.soakRun(w, chaos.Config{Name: "none"}, 0, cfg.HorizonPeriods)
+		baseline, err := s.soakRun(w, chaos.Config{Name: "none"}, 0, cfg.HorizonPeriods,
+			sinkFor(w, "none", 0))
 		if err != nil {
 			return nil, fmt.Errorf("soak %s fault-free: %w", w, err)
 		}
 		for _, sched := range cfg.Schedules {
 			for _, seed := range cfg.Seeds {
-				run, err := s.soakRun(w, sched, seed, cfg.HorizonPeriods)
+				run, err := s.soakRun(w, sched, seed, cfg.HorizonPeriods,
+					sinkFor(w, sched.Name, seed))
 				if err != nil {
 					return nil, fmt.Errorf("soak %s schedule %q seed %d: %w",
 						w, sched.Name, seed, err)
@@ -143,8 +158,9 @@ func (s *Suite) Soak(cfg SoakConfig) (*SoakResult, error) {
 }
 
 // soakRun executes one cell: the DICER controller on the suite's machine
-// under one fault schedule, invariants checked after every period.
-func (s *Suite) soakRun(w Workload, sched chaos.Config, seed int64, horizon int) (SoakRun, error) {
+// under one fault schedule, invariants checked after every period. A
+// non-nil trace sink receives one record per period.
+func (s *Suite) soakRun(w Workload, sched chaos.Config, seed int64, horizon int, trace obs.Sink) (SoakRun, error) {
 	hpProf, err := app.ByName(w.HP)
 	if err != nil {
 		return SoakRun{}, err
@@ -173,6 +189,32 @@ func (s *Suite) soakRun(w Workload, sched chaos.Config, seed int64, horizon int)
 		return SoakRun{}, err
 	}
 	run := SoakRun{Workload: w, Schedule: sched.Name, Seed: seed}
+	var rec *obs.Recorder
+	if trace != nil {
+		rec = obs.NewRecorder(trace)
+		rec.AttachController(ctl)
+		rec.AttachChaos(sys)
+		ctlCfg := ctl.Config()
+		h := obs.Header{
+			Schema:         obs.Schema,
+			Policy:         ctl.Name(),
+			HP:             w.HP,
+			NumWays:        s.cfg.Machine.LLCWays,
+			PeriodSec:      s.cfg.PeriodSec,
+			HorizonPeriods: horizon,
+			Controller:     &ctlCfg,
+		}
+		for i := 0; i < w.BECount; i++ {
+			h.BEs = append(h.BEs, w.BE)
+		}
+		if sched.Active() {
+			h.Chaos = sched.Name
+			h.ChaosSeed = seed
+		}
+		if err := rec.Start(h); err != nil {
+			return run, err
+		}
+	}
 	if err := ctl.Setup(sys); err != nil {
 		// Setup writes the initial split, so it is exposed to injected
 		// schemata rejections like any other actuation.
@@ -191,17 +233,22 @@ func (s *Suite) soakRun(w Workload, sched chaos.Config, seed int64, horizon int)
 			r.Step(dt)
 		}
 		p := meter.Sample()
-		if err := ctl.Observe(sys, p); err != nil {
-			if !errors.Is(err, chaos.ErrInjected) {
-				return run, err
+		obsErr := ctl.Observe(sys, p)
+		checkErr := checker.Check(sys, ctl, sys.ActuationClean())
+		if rec != nil {
+			rec.EndPeriod(period, p, sys, errors.Join(obsErr, checkErr))
+		}
+		if obsErr != nil {
+			if !errors.Is(obsErr, chaos.ErrInjected) {
+				return run, obsErr
 			}
 			// An injected schemata-write rejection: a production
 			// controller logs it and retries next period; the soak
 			// loop does the same.
 			run.ToleratedFaults++
 		}
-		if err := checker.Check(sys, ctl, sys.ActuationClean()); err != nil {
-			return run, err
+		if checkErr != nil {
+			return run, checkErr
 		}
 		fmt.Fprintf(h, "%d:%d:%s:%x:%x|", period, ctl.HPWays(), ctl.State(),
 			sys.CBM(policy.HPClos), sys.CBM(policy.BEClos))

@@ -79,18 +79,18 @@ func TestSoakReplayDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	a, err := s.soakRun(w, sched, 7, 40)
+	a, err := s.soakRun(w, sched, 7, 40, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.soakRun(w, sched, 7, 40)
+	b, err := s.soakRun(w, sched, 7, 40, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.Fingerprint != b.Fingerprint || a.Stats != b.Stats {
 		t.Fatalf("replay diverged:\n%+v\n%+v", a, b)
 	}
-	c, err := s.soakRun(w, sched, 8, 40)
+	c, err := s.soakRun(w, sched, 8, 40, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestSoakReplayDeterministic(t *testing.T) {
 func TestSoakFaultFreeMatchesPlainRun(t *testing.T) {
 	s := soakSuite(t)
 	w := Workload{HP: "omnetpp1", BE: "gcc_base1", BECount: 9}
-	run, err := s.soakRun(w, chaos.Config{Name: "none"}, 0, 40)
+	run, err := s.soakRun(w, chaos.Config{Name: "none"}, 0, 40, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

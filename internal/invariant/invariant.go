@@ -178,23 +178,11 @@ type Guard struct {
 	checker *Checker
 }
 
-// controllerOf extracts the DICER controller from a policy when it is one
-// or wraps one (the ext policies expose Controller()).
-func controllerOf(p policy.Policy) *core.Controller {
-	switch v := p.(type) {
-	case *core.Controller:
-		return v
-	case interface{ Controller() *core.Controller }:
-		return v.Controller()
-	}
-	return nil
-}
-
 // NewGuard wraps inner. The controller-level invariants activate when
 // inner is (or wraps) a DICER controller; otherwise only mask legality is
 // guarded. cfg supplies the HP bounds; pass the controller's own config.
 func NewGuard(inner policy.Policy, cfg core.Config) *Guard {
-	return &Guard{inner: inner, ctl: controllerOf(inner), checker: NewChecker(cfg)}
+	return &Guard{inner: inner, ctl: core.ControllerOf(inner), checker: NewChecker(cfg)}
 }
 
 // Wrap guards p using its own controller configuration when p is (or
@@ -203,7 +191,7 @@ func NewGuard(inner policy.Policy, cfg core.Config) *Guard {
 // only a policy.Policy.
 func Wrap(p policy.Policy) *Guard {
 	cfg := core.DefaultConfig()
-	if ctl := controllerOf(p); ctl != nil {
+	if ctl := core.ControllerOf(p); ctl != nil {
 		cfg = ctl.Config()
 	}
 	return NewGuard(p, cfg)
@@ -211,6 +199,11 @@ func Wrap(p policy.Policy) *Guard {
 
 // Checker exposes the underlying checker (for stats).
 func (g *Guard) Checker() *Checker { return g.checker }
+
+// Controller exposes the guarded DICER controller (nil for non-DICER
+// policies), so core.ControllerOf sees through the guard and the
+// observability recorder can trace a guarded run.
+func (g *Guard) Controller() *core.Controller { return g.ctl }
 
 // Name implements policy.Policy.
 func (g *Guard) Name() string { return g.inner.Name() + "+guard" }

@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"dicer/internal/obs"
+)
+
+// Exporter aggregates trace records into Prometheus-text-format metrics:
+// the live side of the observability layer. It implements obs.Sink, so it
+// sits next to a ring or JSONL writer on a running scenario and is
+// scraped concurrently via WriteTo (the /metrics endpoint of
+// dicer-sim -serve).
+//
+// Exported series (all prefixed dicer_):
+//
+//	dicer_records_total              counter  records observed
+//	dicer_runs_total                 counter  completed runs (serve loops call AddRun)
+//	dicer_decisions_total{kind}      counter  controller decision events by kind
+//	dicer_saturated_periods_total    counter  periods with the link saturated
+//	dicer_tolerated_faults_total     counter  periods whose actuation fault was tolerated
+//	dicer_guard_violations_total     counter  periods that tripped the invariant guard
+//	dicer_chaos_faults_total{type}   counter  injected faults by class
+//	dicer_period                     gauge    last period index
+//	dicer_hp_ways                    gauge    last intended HP partition size
+//	dicer_hp_ipc                     gauge    last HP mean IPC
+//	dicer_be_mean_ipc                gauge    last BE mean IPC
+//	dicer_hp_bw_gbps                 gauge    last HP bandwidth
+//	dicer_total_bw_gbps              gauge    last total bandwidth
+//	dicer_hp_occupancy_bytes         gauge    last HP LLC occupancy
+//	dicer_saturated                  gauge    1 when the last period was saturated
+//
+// An Exporter is safe for concurrent Emit and WriteTo.
+type Exporter struct {
+	mu sync.Mutex
+
+	records   int
+	runs      int
+	decisions map[string]int
+	saturated int
+	tolerated int
+	guard     int
+	faults    map[string]int
+
+	last    obs.Record
+	haveRec bool
+}
+
+// NewExporter creates an empty exporter.
+func NewExporter() *Exporter {
+	return &Exporter{
+		decisions: map[string]int{},
+		faults:    map[string]int{},
+	}
+}
+
+// Emit implements obs.Sink.
+func (e *Exporter) Emit(r *obs.Record) {
+	e.mu.Lock()
+	e.records++
+	for _, d := range r.Decisions {
+		e.decisions[d]++
+	}
+	if r.Saturated {
+		e.saturated++
+	}
+	if r.Tolerated {
+		e.tolerated++
+	}
+	if r.Guard != "" {
+		e.guard++
+	}
+	e.faults["dropout"] += r.Faults.Dropouts
+	e.faults["frozen"] += r.Faults.FrozenReads
+	e.faults["jittered"] += r.Faults.JitteredReads
+	e.faults["write_rejected"] += r.Faults.WritesRejected
+	e.faults["write_delayed"] += r.Faults.WritesDelayed
+	e.last = *r
+	e.last.Decisions = nil // the slice aliases the recorder's scratch
+	e.haveRec = true
+	e.mu.Unlock()
+}
+
+// AddRun counts one completed run (the serve loop calls it per lap).
+func (e *Exporter) AddRun() {
+	e.mu.Lock()
+	e.runs++
+	e.mu.Unlock()
+}
+
+// Records returns the number of records observed.
+func (e *Exporter) Records() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.records
+}
+
+// WriteTo renders the metrics in Prometheus text exposition format.
+// Output ordering is deterministic (label values sorted).
+func (e *Exporter) WriteTo(w io.Writer) (int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cw := &countWriter{w: w}
+
+	writeMetric(cw, "dicer_records_total", "counter",
+		"Monitoring-period trace records observed.", float64(e.records))
+	writeMetric(cw, "dicer_runs_total", "counter",
+		"Completed scenario runs.", float64(e.runs))
+	writeLabelled(cw, "dicer_decisions_total", "counter",
+		"Controller decision events by kind.", "kind", e.decisions)
+	writeMetric(cw, "dicer_saturated_periods_total", "counter",
+		"Periods with the memory link saturated.", float64(e.saturated))
+	writeMetric(cw, "dicer_tolerated_faults_total", "counter",
+		"Periods whose injected actuation fault was tolerated.", float64(e.tolerated))
+	writeMetric(cw, "dicer_guard_violations_total", "counter",
+		"Periods that tripped the runtime invariant guard.", float64(e.guard))
+	writeLabelled(cw, "dicer_chaos_faults_total", "counter",
+		"Injected chaos faults by class.", "type", e.faults)
+
+	if e.haveRec {
+		r := e.last
+		writeMetric(cw, "dicer_period", "gauge", "Last monitoring period index.", float64(r.Period))
+		writeMetric(cw, "dicer_hp_ways", "gauge", "Intended HP partition size (ways).", float64(r.HPWays))
+		writeMetric(cw, "dicer_hp_ipc", "gauge", "HP mean IPC over the last period.", r.HPIPC)
+		writeMetric(cw, "dicer_be_mean_ipc", "gauge", "BE mean IPC over the last period.", r.BEMeanIPC)
+		writeMetric(cw, "dicer_hp_bw_gbps", "gauge", "HP memory bandwidth over the last period.", r.HPBWGbps)
+		writeMetric(cw, "dicer_total_bw_gbps", "gauge", "Total memory bandwidth over the last period.", r.TotalGbps)
+		writeMetric(cw, "dicer_hp_occupancy_bytes", "gauge", "HP LLC occupancy at last period end.", r.HPOccBytes)
+		sat := 0.0
+		if r.Saturated {
+			sat = 1
+		}
+		writeMetric(cw, "dicer_saturated", "gauge", "1 when the last period was saturated.", sat)
+	}
+	return cw.n, cw.err
+}
+
+// countWriter tracks bytes written and the first error, so the metric
+// writers stay unconditional.
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}
+
+func writeHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func writeMetric(w io.Writer, name, typ, help string, v float64) {
+	writeHeader(w, name, typ, help)
+	fmt.Fprintf(w, "%s %s\n", name, formatValue(v))
+}
+
+func writeLabelled(w io.Writer, name, typ, help, label string, vals map[string]int) {
+	writeHeader(w, name, typ, help)
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, k, vals[k])
+	}
+}
+
+// formatValue renders a float the way Prometheus clients do: integers
+// without an exponent, everything else in Go's shortest exact form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

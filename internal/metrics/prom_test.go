@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"dicer/internal/chaos"
+	"dicer/internal/obs"
+)
+
+func exporterText(t *testing.T, e *Exporter) string {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := e.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	return buf.String()
+}
+
+func wantLine(t *testing.T, text, line string) {
+	t.Helper()
+	if !strings.Contains(text, line+"\n") {
+		t.Errorf("missing line %q in exposition:\n%s", line, text)
+	}
+}
+
+func TestExporterAggregates(t *testing.T) {
+	e := NewExporter()
+	e.Emit(&obs.Record{
+		Period: 0, HPIPC: 1.25, BEMeanIPC: 0.5, HPBWGbps: 4.5, TotalGbps: 55,
+		Saturated: true, Decisions: []string{"saturated", "sample"},
+		HPWays: 18, HPOccBytes: 2.5e6,
+		Faults: chaos.Stats{Dropouts: 2, WritesRejected: 1},
+	})
+	e.Emit(&obs.Record{
+		Period: 1, HPIPC: 1.3, TotalGbps: 20,
+		Decisions: []string{"sample"},
+		HPWays:    17, Tolerated: true, Guard: "MaskLegal: x",
+		Faults: chaos.Stats{JitteredReads: 3},
+	})
+	e.AddRun()
+
+	text := exporterText(t, e)
+	wantLine(t, text, "dicer_records_total 2")
+	wantLine(t, text, "dicer_runs_total 1")
+	wantLine(t, text, `dicer_decisions_total{kind="sample"} 2`)
+	wantLine(t, text, `dicer_decisions_total{kind="saturated"} 1`)
+	wantLine(t, text, "dicer_saturated_periods_total 1")
+	wantLine(t, text, "dicer_tolerated_faults_total 1")
+	wantLine(t, text, "dicer_guard_violations_total 1")
+	wantLine(t, text, `dicer_chaos_faults_total{type="dropout"} 2`)
+	wantLine(t, text, `dicer_chaos_faults_total{type="jittered"} 3`)
+	wantLine(t, text, `dicer_chaos_faults_total{type="write_rejected"} 1`)
+	// Gauges reflect the last record.
+	wantLine(t, text, "dicer_period 1")
+	wantLine(t, text, "dicer_hp_ways 17")
+	wantLine(t, text, "dicer_hp_ipc 1.3")
+	wantLine(t, text, "dicer_total_bw_gbps 20")
+	wantLine(t, text, "dicer_saturated 0")
+	if e.Records() != 2 {
+		t.Fatalf("Records() = %d, want 2", e.Records())
+	}
+
+	// Exposition must be deterministic: label keys sorted, two renders
+	// byte-identical.
+	if again := exporterText(t, e); again != text {
+		t.Fatal("two WriteTo calls produced different expositions")
+	}
+	if strings.Index(text, `kind="sample"`) > strings.Index(text, `kind="saturated"`) {
+		t.Fatal("decision label values not sorted")
+	}
+}
+
+func TestExporterEmptyStillValid(t *testing.T) {
+	text := exporterText(t, NewExporter())
+	wantLine(t, text, "dicer_records_total 0")
+	if strings.Contains(text, "dicer_period") {
+		t.Fatal("gauges rendered before any record arrived")
+	}
+	// Every exposition line is either a comment or name[{labels}] value.
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestExporterDoesNotAliasDecisions(t *testing.T) {
+	e := NewExporter()
+	dec := []string{"shrink"}
+	e.Emit(&obs.Record{Period: 0, Decisions: dec})
+	dec[0] = "CLOBBERED" // recorder scratch reuse
+	text := exporterText(t, e)
+	wantLine(t, text, `dicer_decisions_total{kind="shrink"} 1`)
+	if strings.Contains(text, "CLOBBERED") {
+		t.Fatal("exporter retained the caller's decision slice")
+	}
+}
+
+// TestExporterConcurrent scrapes while emitting; run under -race this
+// pins the lock discipline the /metrics endpoint depends on.
+func TestExporterConcurrent(t *testing.T) {
+	e := NewExporter()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e.Emit(&obs.Record{Period: i, Decisions: []string{"hold"}})
+				e.AddRun()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if _, err := e.WriteTo(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if e.Records() != 800 {
+		t.Fatalf("Records() = %d, want 800", e.Records())
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{17, "17"},
+		{-3, "-3"},
+		{1.25, "1.25"},
+		{2.5e6, "2500000"},
+		{0.30000000000000004, "0.30000000000000004"},
+	}
+	for _, tc := range cases {
+		if got := formatValue(tc.in); got != tc.want {
+			t.Errorf("formatValue(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

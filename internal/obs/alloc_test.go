@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"testing"
+
+	"dicer/internal/core"
+)
+
+// TestRecorderAllocFree pins the observability layer's hot-path
+// guarantee: assembling and emitting a record costs zero heap
+// allocations through the no-op sink and through a ring — the two sinks
+// meant to stay attached for the lifetime of a deployment. A regression
+// here means a slice, closure, or interface boxing crept into EndPeriod
+// (or a sink started copying lazily).
+func TestRecorderAllocFree(t *testing.T) {
+	cases := []struct {
+		name string
+		sink Sink
+	}{
+		{"nop", NopSink{}},
+		{"ring", NewRing(64)},
+		{"multi-nop-ring", MultiSink{NopSink{}, NewRing(64)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctl := core.MustNew(core.DefaultConfig())
+			sys := &fakeSystem{ways: 20}
+			rec := NewRecorder(tc.sink)
+			rec.AttachController(ctl)
+			if err := ctl.Setup(sys); err != nil {
+				t.Fatal(err)
+			}
+			steady := period(1.0, 0.8, 5, 20)
+			for i := 0; i < 30; i++ {
+				if err := ctl.Observe(sys, steady); err != nil {
+					t.Fatal(err)
+				}
+				rec.EndPeriod(i, steady, sys, nil)
+			}
+			n := 30
+			if got := testing.AllocsPerRun(200, func() {
+				if err := ctl.Observe(sys, steady); err != nil {
+					t.Fatal(err)
+				}
+				rec.EndPeriod(n, steady, sys, nil)
+				n++
+			}); got != 0 {
+				t.Errorf("steady traced period: %v allocs, want 0", got)
+			}
+
+			// The decision-emitting path (oscillating IPC forces resets
+			// and validates, each folding events into the record) must be
+			// allocation-free too — the fixed decision buffer exists for
+			// exactly this.
+			flip := false
+			if got := testing.AllocsPerRun(200, func() {
+				flip = !flip
+				p := period(0.6, 0.8, 5, 20)
+				if flip {
+					p = period(1.4, 0.8, 5, 20)
+				}
+				if err := ctl.Observe(sys, p); err != nil {
+					t.Fatal(err)
+				}
+				rec.EndPeriod(n, p, sys, nil)
+				n++
+			}); got != 0 {
+				t.Errorf("decision-emitting traced period: %v allocs, want 0", got)
+			}
+		})
+	}
+}
+
+// BenchmarkTraceRecord measures one traced monitoring period: controller
+// Observe plus record assembly and emission. CI's bench-smoke runs it
+// with -benchmem as the allocation guard (0 allocs/op).
+func BenchmarkTraceRecord(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		sink Sink
+	}{
+		{"nop", NopSink{}},
+		{"ring", NewRing(64)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			ctl := core.MustNew(core.DefaultConfig())
+			sys := &fakeSystem{ways: 20}
+			rec := NewRecorder(tc.sink)
+			rec.AttachController(ctl)
+			if err := ctl.Setup(sys); err != nil {
+				b.Fatal(err)
+			}
+			steady := period(1.0, 0.8, 5, 20)
+			for i := 0; i < 30; i++ {
+				if err := ctl.Observe(sys, steady); err != nil {
+					b.Fatal(err)
+				}
+				rec.EndPeriod(i, steady, sys, nil)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ctl.Observe(sys, steady); err != nil {
+					b.Fatal(err)
+				}
+				rec.EndPeriod(i, steady, sys, nil)
+			}
+		})
+	}
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONL writes a trace as JSON Lines: one Header line followed by one
+// line per Record. Output is deterministic for deterministic runs (struct
+// fields marshal in declaration order, floats in Go's shortest exact
+// form), which is what makes golden-trace tests byte-for-byte stable.
+//
+// JSONL is not safe for concurrent Emit calls; give each run its own
+// writer (the per-runner pattern the experiments layer uses).
+type JSONL struct {
+	w   *bufio.Writer
+	err error // first write error; subsequent calls are no-ops
+}
+
+// NewJSONL wraps w. Call Flush (or Close on the owning file) after the
+// run; records are buffered.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriter(w)}
+}
+
+// Start implements HeaderSink: the header becomes the first line.
+func (j *JSONL) Start(h Header) error {
+	if h.Schema == "" {
+		h.Schema = Schema
+	}
+	j.writeLine(h)
+	return j.err
+}
+
+// Emit implements Sink.
+func (j *JSONL) Emit(r *Record) { j.writeLine(r) }
+
+func (j *JSONL) writeLine(v any) {
+	if j.err != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(b); err != nil {
+		j.err = err
+		return
+	}
+	j.err = j.w.WriteByte('\n')
+}
+
+// Flush drains the buffer and returns the first error encountered by any
+// write so far.
+func (j *JSONL) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+var _ HeaderSink = (*JSONL)(nil)
+
+// ReadTrace parses a JSONL trace: the header line, then every record.
+func ReadTrace(r io.Reader) (Header, []Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+
+	var h Header
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return h, nil, err
+		}
+		return h, nil, fmt.Errorf("obs: empty trace")
+	}
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return h, nil, fmt.Errorf("obs: bad trace header: %w", err)
+	}
+	if h.Schema != Schema {
+		return h, nil, fmt.Errorf("obs: unsupported trace schema %q (want %q)", h.Schema, Schema)
+	}
+
+	var recs []Record
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return h, recs, fmt.Errorf("obs: bad record on line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	return h, recs, sc.Err()
+}

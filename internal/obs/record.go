@@ -1,0 +1,135 @@
+// Package obs is the observability layer of the repository: a structured,
+// per-monitoring-period audit trail of what the DICER control loop saw and
+// what it decided, with pluggable sinks and a deterministic replay.
+//
+// DICER's whole contract is a control loop over observed counters (IPC,
+// occupancy, MBM bandwidth); production controllers of this kind live or
+// die by their audit trail. The layer answers the operator's three
+// questions:
+//
+//   - What did the controller see? Every Record carries the period's
+//     counter readings (HP/BE IPC, per-group bandwidth, occupancy) and the
+//     saturation verdict derived from them.
+//   - What did it decide? The controller's decision events (shrink, hold,
+//     reset, sample, ...), its state machine position, the intended HP way
+//     count and the masks actually installed, plus guard interventions and
+//     chaos faults active in the period.
+//   - Can I replay it? Replay re-drives a fresh controller from the
+//     recorded inputs and verifies decision-for-decision equivalence, so
+//     every captured trace doubles as a regression test.
+//
+// The hot path stays clean: records are assembled in a preallocated
+// scratch buffer and sinks receive a pointer, so tracing through the no-op
+// sink (or a ring) costs zero allocations per period — the PR 2 hot-path
+// guarantees (steady-state Step and controller Observe at 0 allocs/op)
+// are preserved with tracing enabled. The allocation guard in
+// alloc_test.go pins this down.
+package obs
+
+import (
+	"dicer/internal/chaos"
+	"dicer/internal/core"
+)
+
+// Schema identifies the trace file format. It is the first line's
+// "schema" field; readers reject files with a different value.
+const Schema = "dicer-trace/v1"
+
+// maxDecisions bounds the controller decision events recorded per period.
+// The DICER state machine emits at most two per Observe (e.g. "saturated"
+// followed by "sample"); four leaves headroom without heap allocation.
+const maxDecisions = 4
+
+// Header is the first line of a JSONL trace: everything needed to
+// interpret — and replay — the records that follow.
+type Header struct {
+	// Schema is always the package-level Schema constant.
+	Schema string `json:"schema"`
+	// Policy is the co-location policy name (e.g. "DICER", "UM").
+	Policy string `json:"policy"`
+	// HP and BEs name the workload (catalog profile names).
+	HP  string   `json:"hp,omitempty"`
+	BEs []string `json:"bes,omitempty"`
+	// NumWays is the machine's allocatable LLC way count.
+	NumWays int `json:"num_ways"`
+	// PeriodSec is the monitoring period length T.
+	PeriodSec float64 `json:"period_sec,omitempty"`
+	// HorizonPeriods is the configured run length.
+	HorizonPeriods int `json:"horizon_periods,omitempty"`
+	// Chaos names the fault schedule active during recording ("" or
+	// "none" means fault-free); ChaosSeed seeds its fault stream.
+	Chaos     string `json:"chaos,omitempty"`
+	ChaosSeed int64  `json:"chaos_seed,omitempty"`
+	// Controller is the DICER configuration, when the traced policy is
+	// (or wraps) a DICER controller; nil otherwise. Replay requires it.
+	Controller *core.Config `json:"controller,omitempty"`
+}
+
+// FaultFree reports whether the trace was recorded without fault
+// injection — the condition under which replay can also verify the
+// installed masks, not just the controller decisions.
+func (h Header) FaultFree() bool { return h.Chaos == "" || h.Chaos == "none" }
+
+// Record is one monitoring period's audit entry. The first group of
+// fields is the controller's *input* (the counters it read and the
+// verdicts derived from them); the second is its *output* (state,
+// decisions, intended allocation, installed masks); the rest annotates
+// the substrate (guard interventions, chaos faults, tolerated errors).
+//
+// All fields are fixed-size except Decisions, which aliases a
+// preallocated buffer inside the Recorder; sinks that retain records
+// beyond the Emit call must deep-copy (Ring does).
+type Record struct {
+	// Period is the monitoring period index (0-based).
+	Period int `json:"period"`
+	// TimeSec is simulated seconds elapsed since the run began.
+	TimeSec float64 `json:"time_sec"`
+
+	// Inputs: the counters the controller read this period.
+	HPIPC       float64 `json:"hp_ipc"`
+	BEMeanIPC   float64 `json:"be_mean_ipc"`
+	HPBWGbps    float64 `json:"hp_bw_gbps"`
+	TotalGbps   float64 `json:"total_bw_gbps"`
+	HPOccBytes  float64 `json:"hp_occ_bytes"`
+	// Saturated is the period's saturation verdict: total bandwidth above
+	// the controller's MemBW_threshold. Always false for policies without
+	// a DICER controller (no threshold to compare against).
+	Saturated bool `json:"saturated,omitempty"`
+
+	// Outputs: what the controller decided.
+	//
+	// State is the controller state after the period ("optimise",
+	// "sampling", "validate"; "" for non-DICER policies). Decisions are
+	// the decision events emitted during the period, in order. HPWays is
+	// the controller's intended HP partition size; HPMask/BEMask are the
+	// masks actually installed on the substrate at period end (under
+	// actuation faults the two can disagree).
+	State     string   `json:"state,omitempty"`
+	Decisions []string `json:"decisions,omitempty"`
+	HPWays    int      `json:"hp_ways"`
+	HPMask    uint64   `json:"hp_mask"`
+	BEMask    uint64   `json:"be_mask"`
+
+	// Faults counts the chaos faults injected during this period (the
+	// delta of the chaos system's cumulative stats). Zero without a
+	// chaos layer.
+	Faults chaos.Stats `json:"faults"`
+	// Tolerated marks a period whose actuation was rejected by an
+	// injected fault and tolerated by the harness (retried next period).
+	Tolerated bool `json:"tolerated,omitempty"`
+	// Guard carries the invariant guard's violation text when the period
+	// tripped the runtime guard; empty otherwise.
+	Guard string `json:"guard,omitempty"`
+	// Err carries any other error the period's observation produced.
+	Err string `json:"err,omitempty"`
+}
+
+// clone returns a deep copy whose Decisions no longer alias the
+// recorder's scratch buffer.
+func (r *Record) clone() Record {
+	out := *r
+	if len(r.Decisions) > 0 {
+		out.Decisions = append([]string(nil), r.Decisions...)
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"errors"
+	"math/bits"
+
+	"dicer/internal/chaos"
+	"dicer/internal/core"
+	"dicer/internal/invariant"
+	"dicer/internal/policy"
+	"dicer/internal/resctrl"
+)
+
+// Recorder assembles one Record per monitoring period and hands it to a
+// Sink. It owns a single scratch Record (and the fixed decision buffer
+// behind it), so a period costs zero heap allocations regardless of the
+// sink — the harnesses wire it unconditionally and pay nothing when the
+// sink is NopSink.
+//
+// Wiring order: NewRecorder, then AttachController / AttachChaos as the
+// run's substrate dictates, optionally Start with the trace header, then
+// EndPeriod once per monitoring period after the policy observed it.
+type Recorder struct {
+	sink      Sink
+	ctl       *core.Controller
+	cs        *chaos.System
+	threshold float64 // saturation threshold; 0 disables the verdict
+
+	prevFaults chaos.Stats
+	timeSec    float64
+
+	rec Record
+	dec [maxDecisions]string
+}
+
+// NewRecorder creates a Recorder emitting to sink (NopSink if nil).
+func NewRecorder(sink Sink) *Recorder {
+	if sink == nil {
+		sink = NopSink{}
+	}
+	return &Recorder{sink: sink}
+}
+
+// AttachController subscribes the recorder to a DICER controller's
+// decision stream (chained after any existing subscriber) and adopts its
+// saturation threshold for the per-period verdict.
+func (r *Recorder) AttachController(ctl *core.Controller) {
+	if ctl == nil {
+		return
+	}
+	r.ctl = ctl
+	r.threshold = ctl.Config().BWThresholdGbps
+	if ctl.Config().DisableSaturationHandling {
+		r.threshold = 0
+	}
+	ctl.ChainTrace(r.onEvent)
+}
+
+// AttachChaos points the recorder at the run's fault-injection layer so
+// records carry the faults injected in their period.
+func (r *Recorder) AttachChaos(cs *chaos.System) {
+	if cs == nil {
+		return
+	}
+	r.cs = cs
+	r.prevFaults = cs.Stats()
+}
+
+// Start forwards the trace header to the sink when it wants one.
+func (r *Recorder) Start(h Header) error {
+	if hs, ok := r.sink.(HeaderSink); ok {
+		return hs.Start(h)
+	}
+	return nil
+}
+
+// onEvent folds one controller decision into the period's record.
+func (r *Recorder) onEvent(e core.Event) {
+	if n := len(r.rec.Decisions); n < maxDecisions {
+		r.dec[n] = string(e.Kind)
+		r.rec.Decisions = r.dec[:n+1]
+	}
+}
+
+// EndPeriod assembles and emits the record for one monitoring period.
+// p is the period's counter reading, sys the substrate after the
+// policy's actuation, observeErr the raw error returned by the policy's
+// Observe (nil when the period was clean; injected-fault and invariant
+// errors are classified into the record, anything else lands in Err).
+func (r *Recorder) EndPeriod(period int, p resctrl.Period, sys resctrl.System, observeErr error) {
+	rec := &r.rec
+	rec.Period = period
+	r.timeSec += p.Seconds
+	rec.TimeSec = r.timeSec
+
+	// Inputs.
+	rec.HPIPC = p.ClosMeanIPC(policy.HPClos)
+	rec.BEMeanIPC = p.ClosMeanIPC(policy.BEClos)
+	rec.HPBWGbps = p.GroupBW(policy.HPClos)
+	rec.TotalGbps = p.TotalGbps
+	rec.HPOccBytes = 0
+	for _, g := range p.Groups {
+		if g.Clos == policy.HPClos {
+			rec.HPOccBytes = g.OccupancyBytes
+			break
+		}
+	}
+	rec.Saturated = r.threshold > 0 && p.TotalGbps > r.threshold
+
+	// Outputs. Decisions were folded in by onEvent during Observe.
+	rec.HPMask = sys.CBM(policy.HPClos)
+	rec.BEMask = sys.CBM(policy.BEClos)
+	if r.ctl != nil {
+		rec.State = r.ctl.State()
+		rec.HPWays = r.ctl.HPWays()
+	} else {
+		rec.State = ""
+		rec.HPWays = bits.OnesCount64(rec.HPMask)
+	}
+
+	// Substrate annotations.
+	if r.cs != nil {
+		cur := r.cs.Stats()
+		rec.Faults = cur.Sub(r.prevFaults)
+		r.prevFaults = cur
+	} else {
+		rec.Faults = chaos.Stats{}
+	}
+	rec.Tolerated = false
+	rec.Guard = ""
+	rec.Err = ""
+	if observeErr != nil {
+		r.classify(observeErr)
+	}
+
+	r.sink.Emit(rec)
+	rec.Decisions = r.dec[:0]
+}
+
+// classify sorts an Observe error into the record's annotation fields.
+// Kept off the happy path so a clean period stays allocation-free.
+func (r *Recorder) classify(err error) {
+	if errors.Is(err, chaos.ErrInjected) {
+		r.rec.Tolerated = true
+	}
+	var ie *invariant.Error
+	if errors.As(err, &ie) {
+		r.rec.Guard = ie.Error()
+	} else if !r.rec.Tolerated {
+		r.rec.Err = err.Error()
+	}
+}

@@ -1,0 +1,93 @@
+package obs
+
+import "sync"
+
+// Ring is a fixed-capacity, thread-safe ring buffer of Records: the
+// in-memory sink behind the /trace endpoint and the property tests. Once
+// constructed it never allocates on Emit — each slot owns a fixed
+// decision buffer that incoming records are deep-copied into — so it can
+// sit on the monitoring hot path for the lifetime of a deployment.
+type Ring struct {
+	mu    sync.Mutex
+	slots []ringSlot
+	pos   int // next write position
+	n     int // valid slots (<= len(slots))
+	total int // records ever emitted
+}
+
+// ringSlot stores one record plus the backing array its Decisions slice
+// points into, so retention never aliases the Recorder's scratch.
+type ringSlot struct {
+	rec Record
+	dec [maxDecisions]string
+}
+
+// NewRing creates a ring holding the most recent capacity records.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{slots: make([]ringSlot, capacity)}
+}
+
+// Emit implements Sink.
+func (g *Ring) Emit(r *Record) {
+	g.mu.Lock()
+	s := &g.slots[g.pos]
+	s.rec = *r
+	nd := copy(s.dec[:], r.Decisions)
+	s.rec.Decisions = s.dec[:nd]
+	g.pos = (g.pos + 1) % len(g.slots)
+	if g.n < len(g.slots) {
+		g.n++
+	}
+	g.total++
+	g.mu.Unlock()
+}
+
+// Len returns the number of records currently held.
+func (g *Ring) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Total returns the number of records ever emitted (held or evicted).
+func (g *Ring) Total() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.total
+}
+
+// Snapshot returns the held records oldest-first as independent deep
+// copies, safe to serialise while the ring keeps filling.
+func (g *Ring) Snapshot() []Record {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Record, 0, g.n)
+	start := g.pos - g.n
+	if start < 0 {
+		start += len(g.slots)
+	}
+	for i := 0; i < g.n; i++ {
+		slot := &g.slots[(start+i)%len(g.slots)]
+		out = append(out, slot.rec.clone())
+	}
+	return out
+}
+
+// Last returns the most recent record (deep copy) and whether one exists.
+func (g *Ring) Last() (Record, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.n == 0 {
+		return Record{}, false
+	}
+	i := g.pos - 1
+	if i < 0 {
+		i += len(g.slots)
+	}
+	return g.slots[i].rec.clone(), true
+}
+
+var _ Sink = (*Ring)(nil)

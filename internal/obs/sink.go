@@ -1,0 +1,58 @@
+package obs
+
+// Sink receives one Record per monitoring period. The record pointer is
+// only valid for the duration of the call — the Recorder reuses its
+// scratch buffer — so sinks that retain records must copy them.
+//
+// Emit is called from the monitoring loop's hot path; implementations
+// meant for production use should avoid per-call allocation (NopSink and
+// Ring are allocation-free).
+type Sink interface {
+	Emit(r *Record)
+}
+
+// HeaderSink is a Sink that wants the trace header before the first
+// record (the JSONL writer). Recorder.Start forwards to it.
+type HeaderSink interface {
+	Sink
+	Start(h Header) error
+}
+
+// NopSink discards every record at zero cost: tracing wired through a
+// NopSink must not change the hot path's allocation behaviour at all
+// (the BenchmarkTraceRecord guard enforces 0 allocs/op).
+type NopSink struct{}
+
+// Emit implements Sink.
+func (NopSink) Emit(*Record) {}
+
+// MultiSink fans one record out to several sinks in order.
+type MultiSink []Sink
+
+// Emit implements Sink.
+func (m MultiSink) Emit(r *Record) {
+	for _, s := range m {
+		s.Emit(r)
+	}
+}
+
+// Start implements HeaderSink: the header is forwarded to every member
+// that accepts one; the first error wins but every member is started.
+func (m MultiSink) Start(h Header) error {
+	var first error
+	for _, s := range m {
+		if hs, ok := s.(HeaderSink); ok {
+			if err := hs.Start(h); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// FuncSink adapts a function to the Sink interface, for tests and quick
+// dashboards.
+type FuncSink func(r *Record)
+
+// Emit implements Sink.
+func (f FuncSink) Emit(r *Record) { f(r) }

@@ -6,8 +6,10 @@ import (
 
 	"dicer/internal/app"
 	"dicer/internal/chaos"
+	"dicer/internal/core"
 	"dicer/internal/invariant"
 	"dicer/internal/metrics"
+	"dicer/internal/obs"
 	"dicer/internal/policy"
 	"dicer/internal/resctrl"
 	"dicer/internal/sim"
@@ -53,6 +55,16 @@ type Scenario struct {
 	// machine-checked after every monitoring period, and a violation
 	// aborts the run with an *InvariantError.
 	CheckInvariants bool
+	// Trace, when non-nil, receives one structured TraceRecord per
+	// monitoring period: the counters the policy saw, the saturation
+	// verdict, the controller's decisions and state, the masks
+	// installed, and any chaos faults or guard interventions. Sinks that
+	// accept a header (the JSONL writer) receive one before the first
+	// record. Wire a NewTraceRing for in-memory inspection, a
+	// NewTraceJSONL for a replayable audit file, or a NewPromExporter
+	// for live metrics; tracing through the no-op sink costs zero
+	// allocations per period.
+	Trace obs.Sink
 }
 
 // NewScenario builds a Scenario from catalog names: one HP and beCount
@@ -196,6 +208,16 @@ func (s *Scenario) Run(pol Policy) (ScenarioResult, error) {
 		return err
 	}
 
+	var rec *obs.Recorder
+	if s.Trace != nil {
+		rec = obs.NewRecorder(s.Trace)
+		rec.AttachController(core.ControllerOf(runPol))
+		rec.AttachChaos(csys)
+		if err := rec.Start(s.traceHeader(pol, runPol)); err != nil {
+			return ScenarioResult{}, err
+		}
+	}
+
 	if err := tolerate(runPol.Setup(sys)); err != nil {
 		return ScenarioResult{}, err
 	}
@@ -209,7 +231,11 @@ func (s *Scenario) Run(pol Policy) (ScenarioResult, error) {
 		if s.OnPeriod != nil {
 			s.OnPeriod(period, p)
 		}
-		if err := tolerate(runPol.Observe(sys, p)); err != nil {
+		obsErr := runPol.Observe(sys, p)
+		if rec != nil {
+			rec.EndPeriod(period, p, sys, obsErr)
+		}
+		if err := tolerate(obsErr); err != nil {
 			return ScenarioResult{}, err
 		}
 	}
@@ -243,6 +269,32 @@ func (s *Scenario) Run(pol Policy) (ScenarioResult, error) {
 		res.BEAloneIPCs = append(res.BEAloneIPCs, ipc)
 	}
 	return res, nil
+}
+
+// traceHeader describes the run for trace sinks and the replay tool.
+// pol is the user's policy (for the name), runPol the possibly
+// guard-wrapped one actually driven (for the controller config).
+func (s *Scenario) traceHeader(pol, runPol Policy) obs.Header {
+	h := obs.Header{
+		Schema:         obs.Schema,
+		Policy:         pol.Name(),
+		HP:             s.HP.Name,
+		NumWays:        s.Machine.LLCWays,
+		PeriodSec:      s.PeriodSec,
+		HorizonPeriods: s.HorizonPeriods,
+	}
+	for _, be := range s.BEs {
+		h.BEs = append(h.BEs, be.Name)
+	}
+	if s.Chaos != nil && s.Chaos.Active() {
+		h.Chaos = s.Chaos.Name
+		h.ChaosSeed = s.ChaosSeed
+	}
+	if ctl := core.ControllerOf(runPol); ctl != nil {
+		cfg := ctl.Config()
+		h.Controller = &cfg
+	}
+	return h
 }
 
 // aloneIPC runs prof alone on the machine with the full LLC.

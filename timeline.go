@@ -23,9 +23,13 @@ type TimelineEntry struct {
 // it to a Scenario before Run:
 //
 //	tl := &dicer.Timeline{}
-//	sc.OnPeriod = tl.Record(sys)  // or simply sc.Attach(tl)
+//	sc.AttachTimeline(tl)
 //
-// Scenario.AttachTimeline wires it in one call.
+// (AttachTimeline installs an OnPeriod hook, so it replaces any hook set
+// earlier.) For a structured, replayable audit trail — including the
+// controller's decisions, not just the counters — use Scenario.Trace with
+// a TraceRing or TraceJSONL sink instead; the timeline is the lightweight
+// CSV-oriented view.
 type Timeline struct {
 	Entries []TimelineEntry
 }
