@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"dicer/internal/experiments"
+	"dicer/internal/fleet"
+)
+
+// fleetRecord is the perf-trajectory record BENCH_fleet.json carries: one
+// uncached fleet comparison (every scheduler under DICER nodes on a
+// shared arrival trace), so future PRs can compare stepping throughput
+// and placement quality like for like.
+type fleetRecord struct {
+	Benchmark       string  `json:"benchmark"`
+	Nodes           int     `json:"nodes"`
+	Periods         int     `json:"periods"`
+	Cells           int     `json:"cells"`
+	NodePeriods     int64   `json:"node_periods"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	NsPerNodePeriod float64 `json:"ns_per_node_period"`
+
+	HeadroomEFU      float64 `json:"headroom_fleet_efu"`
+	RandomEFU        float64 `json:"random_fleet_efu"`
+	HeadroomSLOViol  int     `json:"headroom_slo_violation_periods"`
+	RandomSLOViol    int     `json:"random_slo_violation_periods"`
+	HeadroomP95Wait  float64 `json:"headroom_p95_wait_periods"`
+	HeadroomRejected int     `json:"headroom_rejected"`
+}
+
+// writeFleetJSON runs the scheduler comparison on a fresh suite and
+// records wall time per simulated node-period plus the placement-quality
+// headline (headroom vs random).
+func writeFleetJSON(cfg experiments.Config, path string) error {
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+	fc := experiments.FleetConfig{
+		Nodes:          4,
+		HorizonPeriods: cfg.HorizonPeriods,
+		Arrivals: fleet.ArrivalConfig{
+			Seed: 42, RatePerPeriod: 2, MeanDurationPeriods: 10,
+			ClassWeights: [4]float64{0.5, 0.25, 0.15, 0.1},
+		},
+		QueueCap: 40,
+		Policies: []experiments.PolicyName{experiments.DICER},
+	}
+
+	start := time.Now()
+	cells, err := suite.FleetSuite(fc)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	rec := fleetRecord{
+		Benchmark:   "fleetSchedulers",
+		Nodes:       fc.Nodes,
+		Periods:     fc.HorizonPeriods,
+		Cells:       len(cells),
+		NodePeriods: int64(len(cells)) * int64(fc.Nodes) * int64(fc.HorizonPeriods),
+		WallSeconds: wall.Seconds(),
+	}
+	rec.NsPerNodePeriod = float64(wall.Nanoseconds()) / float64(rec.NodePeriods)
+	for _, c := range cells {
+		switch c.Scheduler {
+		case "headroom":
+			rec.HeadroomEFU = c.Result.FleetEFU
+			rec.HeadroomSLOViol = c.Result.SLOViolationPeriods
+			rec.HeadroomP95Wait = c.Result.P95QueueWait
+			rec.HeadroomRejected = c.Result.Rejected
+		case "random":
+			rec.RandomEFU = c.Result.FleetEFU
+			rec.RandomSLOViol = c.Result.SLOViolationPeriods
+		}
+	}
+
+	body, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(body, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("fleet: %d cells x %d nodes x %d periods, %.2f s wall, %.0f ns/node-period\n"+
+		"       headroom EFU %.4f (slo %d) vs random EFU %.4f (slo %d)\nwrote %s\n",
+		rec.Cells, rec.Nodes, rec.Periods, rec.WallSeconds, rec.NsPerNodePeriod,
+		rec.HeadroomEFU, rec.HeadroomSLOViol, rec.RandomEFU, rec.RandomSLOViol, path)
+	return nil
+}

@@ -37,6 +37,7 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		sweepJSON  = flag.String("sweepjson", "", "measure the uncached 59x59 sweep and write {wall, ns/step, allocs/step} JSON to this file, then exit")
+		fleetJSON  = flag.String("fleetjson", "", "measure the fleet scheduler comparison and write {wall, ns/node-period, EFU} JSON to this file, then exit")
 	)
 	flag.Parse()
 
@@ -70,6 +71,12 @@ func main() {
 
 	if *sweepJSON != "" {
 		if err := writeSweepJSON(cfg, *sweepJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *fleetJSON != "" {
+		if err := writeFleetJSON(cfg, *fleetJSON); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dicer/internal/fleet"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenParams is the pinned configuration behind the golden summary:
+// small, chaotic and fully seeded.
+func goldenParams() fleetParams {
+	return fleetParams{
+		nodes: 3, hps: "omnetpp1,sphinx1", policy: "dicer",
+		scheduler: "headroom", schedSeed: 1, periods: 30,
+		slo: 0.9, queueCap: 32,
+		seed: 42, rate: 2, meanDur: 8, stream: 0.5,
+		chaosName: "node-storm", chaosSeed: 1,
+	}
+}
+
+// TestGoldenSummary pins the batch-mode summary JSON byte-for-byte: the
+// cluster is deterministic, so any drift is a behaviour change that must
+// be reviewed (then refreshed with -update).
+func TestGoldenSummary(t *testing.T) {
+	dir := t.TempDir()
+	summary := filepath.Join(dir, "summary.json")
+	if err := runBatch(goldenParams(), "", summary, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "summary.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("summary drifted from golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestBatchTraceDeterministic runs the batch path twice and compares the
+// cluster traces byte-for-byte.
+func TestBatchTraceDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	run := func(name string) []byte {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := runBatch(goldenParams(), path, "", 0); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run("a.jsonl"), run("b.jsonl")
+	if !bytes.Equal(a, b) {
+		t.Fatal("batch runs with identical flags produced different traces")
+	}
+	hdr, recs, err := fleet.ReadClusterTrace(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Nodes != 3 || len(recs) != 30 {
+		t.Fatalf("trace shape: nodes=%d records=%d", hdr.Nodes, len(recs))
+	}
+}
+
+// TestConfigRejectsBadFlags covers flag validation.
+func TestConfigRejectsBadFlags(t *testing.T) {
+	p := goldenParams()
+	p.policy = "bogus"
+	if _, err := p.config(); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	p = goldenParams()
+	p.chaosName = "bogus"
+	if _, err := p.config(); err == nil {
+		t.Error("bogus chaos schedule accepted")
+	}
+}
+
+// TestServeEndpoints drives the serve mux through httptest: the loop
+// runs a real (tiny) cluster in the background, so poll /healthz until
+// the first lap lands, then check every endpoint.
+func TestServeEndpoints(t *testing.T) {
+	p := goldenParams()
+	p.periods = 10
+	p.chaosName = "none"
+	st := newFleetServeState()
+	go st.loop(p)
+	srv := httptest.NewServer(st.mux())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st.exporter.Periods() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cluster loop produced no periods")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.HasPrefix(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "dicer_fleet_periods_total") {
+		t.Fatalf("/metrics = %d, missing fleet series", code)
+	}
+	if code, body := get("/nodes"); code != 200 || !strings.Contains(body, `"node"`) {
+		t.Fatalf("/nodes = %d %q", code, body)
+	}
+	if code, _ := get("/queue"); code != 200 {
+		t.Fatalf("/queue = %d", code)
+	}
+}

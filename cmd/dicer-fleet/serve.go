@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"dicer/internal/fleet"
+	"dicer/internal/httpd"
+	"dicer/internal/metrics"
+)
+
+// fleetServeState is shared between the background cluster loop and the
+// HTTP handlers: a Prometheus fleet exporter for /metrics plus the most
+// recent period's record and queue for /nodes and /queue.
+type fleetServeState struct {
+	exporter *metrics.FleetExporter
+
+	mu      sync.Mutex
+	lastRec fleet.ClusterRecord
+	queue   []fleet.QueueEntry
+	haveRec bool
+	laps    int
+	lastErr error
+}
+
+func newFleetServeState() *fleetServeState {
+	return &fleetServeState{exporter: metrics.NewFleetExporter()}
+}
+
+// observe is the cluster's OnPeriod callback.
+func (st *fleetServeState) observe(rec *fleet.ClusterRecord, queue []fleet.QueueEntry) {
+	st.exporter.Observe(rec.Sample())
+	st.mu.Lock()
+	st.lastRec = *rec
+	st.lastRec.Nodes = append([]fleet.Heartbeat(nil), rec.Nodes...)
+	st.queue = queue
+	st.haveRec = true
+	st.mu.Unlock()
+}
+
+func (st *fleetServeState) setErr(err error) {
+	st.mu.Lock()
+	st.lastErr = err
+	st.mu.Unlock()
+}
+
+// loop runs cluster laps until one fails; the failure parks in /healthz.
+// Each lap rebuilds the cluster, so node and controller state start
+// fresh while the exporter's counters accumulate across laps.
+func (st *fleetServeState) loop(p fleetParams) {
+	for {
+		cfg, err := p.config()
+		if err != nil {
+			st.setErr(err)
+			return
+		}
+		cfg.OnPeriod = st.observe
+		c, err := fleet.New(cfg)
+		if err != nil {
+			st.setErr(err)
+			return
+		}
+		if _, err := c.Run(); err != nil {
+			st.setErr(err)
+			return
+		}
+		st.mu.Lock()
+		st.laps++
+		st.mu.Unlock()
+	}
+}
+
+// mux wires the four endpoints. Split from runServe so tests drive it
+// through httptest without binding a socket.
+func (st *fleetServeState) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if _, err := st.exporter.WriteTo(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/nodes", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		rec, ok := st.lastRec, st.haveRec
+		st.mu.Unlock()
+		if !ok {
+			http.Error(w, "no cluster period recorded yet", http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, rec.Nodes)
+	})
+	mux.HandleFunc("/queue", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		q, ok := st.queue, st.haveRec
+		st.mu.Unlock()
+		if !ok {
+			http.Error(w, "no cluster period recorded yet", http.StatusServiceUnavailable)
+			return
+		}
+		if q == nil {
+			q = []fleet.QueueEntry{}
+		}
+		writeJSON(w, q)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		err, laps := st.lastErr, st.laps
+		st.mu.Unlock()
+		if err != nil {
+			http.Error(w, "cluster loop stopped: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, "ok laps=%d periods=%d\n", laps, st.exporter.Periods())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// runServe starts the background cluster loop and serves the fleet
+// observability endpoints with header/idle timeouts, draining gracefully
+// on SIGINT/SIGTERM.
+func runServe(addr string, p fleetParams) error {
+	st := newFleetServeState()
+	go st.loop(p)
+	fmt.Printf("serving /metrics /nodes /queue /healthz on %s (%d nodes, policy %s, scheduler %s, %d periods per lap)\n",
+		addr, p.nodes, p.policy, p.scheduler, p.periods)
+	return httpd.ListenAndServe(addr, st.mux())
+}

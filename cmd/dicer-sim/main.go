@@ -47,7 +47,10 @@ func main() {
 			hp: *hp, be: *be, n: *n, periods: *periods, policy: *polName,
 			chaosName: *chaosN, chaosSeed: *chaosS, guard: *guard,
 		})
-		fatal(err)
+		if err != nil {
+			fatal(err)
+		}
+		return // graceful shutdown (SIGINT/SIGTERM)
 	}
 
 	if *cpuProfile != "" {

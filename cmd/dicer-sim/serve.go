@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"dicer"
+	"dicer/internal/httpd"
 )
 
 // serveParams is the scenario the -serve loop runs lap after lap.
@@ -153,11 +154,12 @@ func (st *serveState) mux() *http.ServeMux {
 }
 
 // runServe starts the background scenario loop and serves the
-// observability endpoints until the process is killed.
+// observability endpoints with header/idle timeouts, draining gracefully
+// on SIGINT/SIGTERM.
 func runServe(addr string, p serveParams) error {
 	st := newServeState()
 	go st.loop(p)
 	fmt.Printf("serving /metrics /trace /healthz on %s (%s + %dx %s, policy %s, %d periods per lap)\n",
 		addr, p.hp, p.n, p.be, p.policy, p.periods)
-	return http.ListenAndServe(addr, st.mux())
+	return httpd.ListenAndServe(addr, st.mux())
 }

@@ -37,6 +37,7 @@ import (
 	"dicer/internal/chaos"
 	"dicer/internal/core"
 	"dicer/internal/experiments"
+	"dicer/internal/fleet"
 	"dicer/internal/invariant"
 	"dicer/internal/machine"
 	"dicer/internal/membw"
@@ -131,6 +132,33 @@ type (
 	TraceReplayResult = obs.ReplayResult
 	// PromExporter aggregates trace records into Prometheus text metrics.
 	PromExporter = metrics.Exporter
+	// FleetConfig configures a multi-node consolidation cluster: node
+	// count and policy, arrival generator, admission queue, placement
+	// scheduler, node chaos.
+	FleetConfig = fleet.Config
+	// FleetCluster is N simulated DICER nodes behind admission control
+	// and a placement scheduler; Step it once per monitoring period.
+	FleetCluster = fleet.Cluster
+	// FleetResult summarises one finished cluster run (fleet EFU, SLO
+	// violation periods, reject rate, queue waits).
+	FleetResult = fleet.Result
+	// FleetArrivals seeds the open-loop best-effort job generator.
+	FleetArrivals = fleet.ArrivalConfig
+	// FleetScheduler places admitted BE jobs onto nodes.
+	FleetScheduler = fleet.Scheduler
+	// FleetNodeView is the per-node state a scheduler scores.
+	FleetNodeView = fleet.NodeView
+	// FleetHeartbeat is one node's per-period health record.
+	FleetHeartbeat = fleet.Heartbeat
+	// ClusterRecord is one cluster monitoring period: admission and
+	// placement counters, chaos events, fleet EFU, sorted heartbeats.
+	ClusterRecord = fleet.ClusterRecord
+	// ClusterTraceHeader is a fleet trace's first JSONL line.
+	ClusterTraceHeader = fleet.TraceHeader
+	// FleetExporter aggregates cluster records into Prometheus text.
+	FleetExporter = metrics.FleetExporter
+	// NodeChaosSchedule is a deterministic node freeze/loss schedule.
+	NodeChaosSchedule = chaos.NodeSchedule
 )
 
 // ErrChaosInjected marks errors caused by an injected fault; harnesses
@@ -206,6 +234,39 @@ func GuardPolicy(p Policy) *InvariantGuard { return invariant.Wrap(p) }
 func NewSLOMonitor(ipcAlone, slo float64, n int, alarmBelow float64) *SLOMonitor {
 	return metrics.NewSLOMonitor(ipcAlone, slo, n, alarmBelow)
 }
+
+// NewFleet builds a multi-node consolidation cluster. Step it once per
+// monitoring period until Done, then Finish for the aggregate
+// FleetResult. Identical configurations produce byte-identical cluster
+// traces. See cmd/dicer-fleet for the CLI.
+func NewFleet(cfg FleetConfig) (*FleetCluster, error) { return fleet.New(cfg) }
+
+// FleetSchedulerByName builds a placement scheduler: "random",
+// "least-loaded", or "headroom" (predicted-pressure + bandwidth-headroom
+// scoring that refuses knee-saturating placements). The seed only
+// matters to "random".
+func FleetSchedulerByName(name string, seed int64) (FleetScheduler, error) {
+	return fleet.NewScheduler(name, seed)
+}
+
+// FleetSchedulerNames lists the built-in placement schedulers.
+func FleetSchedulerNames() []string { return fleet.SchedulerNames() }
+
+// ReadClusterTrace parses a JSONL cluster trace written by a fleet run.
+func ReadClusterTrace(r io.Reader) (ClusterTraceHeader, []ClusterRecord, error) {
+	return fleet.ReadClusterTrace(r)
+}
+
+// NodeChaosScheduleByName looks up a canned node fault schedule ("none",
+// "node-freeze", "node-loss", "node-storm") sized for a cluster of the
+// given node count and horizon.
+func NodeChaosScheduleByName(name string, seed int64, nodes, horizon int) (NodeChaosSchedule, error) {
+	return chaos.NodeScheduleByName(name, seed, nodes, horizon)
+}
+
+// NewFleetExporter builds the Prometheus-text aggregator for cluster
+// records; dicer-fleet -serve exposes one at /metrics.
+func NewFleetExporter() *FleetExporter { return metrics.NewFleetExporter() }
 
 // NewTraceRing builds an in-memory trace sink holding the most recent
 // capacity records; Emit never allocates, so it can stay attached for

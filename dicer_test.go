@@ -1,6 +1,7 @@
 package dicer
 
 import (
+	"bytes"
 	"math"
 	"testing"
 )
@@ -253,5 +254,58 @@ func TestSLOMonitorFacade(t *testing.T) {
 	}
 	if c := mon.Conformance(); c < 0 || c > 1 {
 		t.Fatalf("conformance %g out of range", c)
+	}
+}
+
+func TestFleetFacade(t *testing.T) {
+	var buf bytes.Buffer
+	cl, err := NewFleet(FleetConfig{
+		Nodes:          2,
+		HorizonPeriods: 8,
+		Arrivals:       FleetArrivals{Seed: 3, RatePerPeriod: 1, MeanDurationPeriods: 4},
+		Trace:          &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Periods != 8 || res.Nodes != 2 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	h, recs, err := ReadClusterTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Nodes != 2 || len(recs) != 8 {
+		t.Fatalf("trace header %+v with %d records", h, len(recs))
+	}
+
+	names := FleetSchedulerNames()
+	if len(names) == 0 {
+		t.Fatal("no schedulers")
+	}
+	for _, name := range names {
+		if _, err := FleetSchedulerByName(name, 1); err != nil {
+			t.Errorf("scheduler %q: %v", name, err)
+		}
+	}
+	if _, err := FleetSchedulerByName("nope", 1); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if _, err := NodeChaosScheduleByName("node-storm", 1, 2, 8); err != nil {
+		t.Errorf("node-storm schedule: %v", err)
+	}
+
+	exp := NewFleetExporter()
+	exp.Observe(recs[0].Sample())
+	var out bytes.Buffer
+	if _, err := exp.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("dicer_fleet_efu")) {
+		t.Fatalf("exporter output missing fleet gauge:\n%s", out.String())
 	}
 }

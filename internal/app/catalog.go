@@ -263,6 +263,24 @@ func MustByName(name string) Profile {
 	return p
 }
 
+// ByClass returns the catalog profiles of one behaviour class, sorted by
+// name (the catalog order). The fleet arrival generator draws from these
+// per-class pools so a workload mix can be specified as class weights.
+func ByClass(class Class) []Profile {
+	var out []Profile
+	for _, p := range Catalog() {
+		if p.Class == class {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Classes returns the behaviour classes in their canonical order.
+func Classes() []Class {
+	return []Class{ClassStream, ClassCache, ClassCompute, ClassMixed}
+}
+
 // Names returns all catalog profile names, sorted.
 func Names() []string {
 	cat := Catalog()

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"dicer/internal/chaos"
+	"dicer/internal/fleet"
+	"dicer/internal/report"
+)
+
+// FleetConfig parameterises the fleet comparison: one seeded arrival
+// trace replayed across every (scheduler, node policy) cell, so the
+// cells differ only in how the cluster places jobs and how each node
+// partitions its LLC.
+type FleetConfig struct {
+	// Nodes is the cluster size. Default 4.
+	Nodes int
+	// HorizonPeriods is the simulated duration. Default the suite's
+	// SweepHorizonPeriods.
+	HorizonPeriods int
+	// Arrivals drives the shared BE arrival trace. Zero Seed is valid
+	// (it is a fixed stream like any other).
+	Arrivals fleet.ArrivalConfig
+	// Schedulers to compare. Default all of fleet.SchedulerNames().
+	Schedulers []string
+	// Policies are the node-local policies to compare. Default UM, CT,
+	// DICER.
+	Policies []PolicyName
+	// SLO is each HP's target fraction of alone performance. Default 0.9.
+	SLO float64
+	// QueueCap bounds the admission queue. Default 32.
+	QueueCap int
+	// NodeChaos optionally schedules node freeze/loss events (the same
+	// schedule in every cell).
+	NodeChaos chaos.NodeSchedule
+}
+
+// fleetDefaults fills unset fields from the suite configuration.
+func (s *Suite) fleetDefaults(fc FleetConfig) FleetConfig {
+	if fc.Nodes == 0 {
+		fc.Nodes = 4
+	}
+	if fc.HorizonPeriods == 0 {
+		fc.HorizonPeriods = s.cfg.SweepHorizonPeriods
+	}
+	if len(fc.Schedulers) == 0 {
+		fc.Schedulers = fleet.SchedulerNames()
+	}
+	if len(fc.Policies) == 0 {
+		fc.Policies = []PolicyName{UM, CT, DICER}
+	}
+	if fc.SLO == 0 {
+		fc.SLO = 0.9
+	}
+	if fc.QueueCap == 0 {
+		fc.QueueCap = 32
+	}
+	return fc
+}
+
+// FleetCell is one (scheduler, policy) outcome of the comparison.
+type FleetCell struct {
+	Scheduler string
+	Policy    PolicyName
+	Result    fleet.Result
+}
+
+// FleetSuite runs the fleet comparison: every scheduler crossed with
+// every node policy over the same arrival trace and chaos schedule.
+// Cells run in parallel across the suite worker pool; alone-run
+// references go through the suite memo so every cell normalises against
+// the same table. Results are returned in (scheduler, policy)
+// configuration order.
+func (s *Suite) FleetSuite(fc FleetConfig) ([]FleetCell, error) {
+	fc = s.fleetDefaults(fc)
+	cells := make([]FleetCell, 0, len(fc.Schedulers)*len(fc.Policies))
+	for _, sched := range fc.Schedulers {
+		for _, pol := range fc.Policies {
+			cells = append(cells, FleetCell{Scheduler: sched, Policy: pol})
+		}
+	}
+
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.workers())
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cell := &cells[i]
+			c, err := fleet.New(fleet.Config{
+				Nodes:          fc.Nodes,
+				Machine:        s.cfg.Machine,
+				Policy:         string(cell.Policy),
+				DICER:          s.cfg.DICER,
+				SLO:            fc.SLO,
+				PeriodSec:      s.cfg.PeriodSec,
+				StepsPerPeriod: s.cfg.StepsPerPeriod,
+				HorizonPeriods: fc.HorizonPeriods,
+				Arrivals:       fc.Arrivals,
+				Scheduler:      cell.Scheduler,
+				QueueCap:       fc.QueueCap,
+				NodeChaos:      fc.NodeChaos,
+				AloneIPC:       s.AloneIPC,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cell.Result, errs[i] = c.Run()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cells, nil
+}
+
+// FleetTable renders the comparison as the fleet analogue of the paper's
+// policy tables: one row per (scheduler, policy) cell.
+func FleetTable(cells []FleetCell) *report.Table {
+	t := report.NewTable("Fleet consolidation: scheduler x node policy",
+		"Scheduler", "Policy", "FleetEFU", "SLO viol periods", "Reject rate",
+		"p95 wait", "Done", "Dropped")
+	for _, c := range cells {
+		r := c.Result
+		t.AddRow(c.Scheduler, string(c.Policy), report.F3(r.FleetEFU),
+			fmt.Sprintf("%d", r.SLOViolationPeriods), report.Pct(100*r.RejectRate),
+			fmt.Sprintf("%.1f", r.P95QueueWait), fmt.Sprintf("%d", r.Done),
+			fmt.Sprintf("%d", r.Dropped))
+	}
+	return t
+}

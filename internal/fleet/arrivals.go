@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dicer/internal/app"
+)
+
+// ArrivalConfig drives the open-loop best-effort job generator: a seeded
+// Poisson arrival process over monitoring periods, each arrival drawing a
+// profile from the application catalog (by behaviour-class weights) and a
+// service time in periods. The generator is a pure function of its
+// configuration: the same config always yields the same arrival trace,
+// which is what lets the FleetSuite run one trace across every
+// (scheduler, policy) cell and lets a cluster run replay bit-identically.
+type ArrivalConfig struct {
+	// Seed seeds the arrival stream.
+	Seed int64 `json:"seed"`
+	// RatePerPeriod is the mean number of job arrivals per monitoring
+	// period (Poisson). Default 1.
+	RatePerPeriod float64 `json:"rate_per_period"`
+	// MeanDurationPeriods is the mean job service time in periods
+	// (exponential, rounded up). Default 10.
+	MeanDurationPeriods float64 `json:"mean_duration_periods"`
+	// MaxDurationPeriods caps a single job's service time. Default 40.
+	MaxDurationPeriods int `json:"max_duration_periods"`
+	// ClassWeights weight the behaviour classes jobs are drawn from, in
+	// app.Classes() order: stream, cache, compute, mixed. Zero value
+	// means the default mix {0.3, 0.35, 0.25, 0.1}. A zero weight
+	// excludes the class.
+	ClassWeights [4]float64 `json:"class_weights"`
+}
+
+// defaults fills unset fields in place.
+func (c *ArrivalConfig) defaults() {
+	if c.RatePerPeriod == 0 {
+		c.RatePerPeriod = 1
+	}
+	if c.MeanDurationPeriods == 0 {
+		c.MeanDurationPeriods = 10
+	}
+	if c.MaxDurationPeriods == 0 {
+		c.MaxDurationPeriods = 40
+	}
+	if c.ClassWeights == ([4]float64{}) {
+		c.ClassWeights = [4]float64{0.3, 0.35, 0.25, 0.1}
+	}
+}
+
+// Validate reports configuration errors.
+func (c ArrivalConfig) Validate() error {
+	c.defaults()
+	if c.RatePerPeriod < 0 {
+		return fmt.Errorf("fleet: negative arrival rate %g", c.RatePerPeriod)
+	}
+	if c.MeanDurationPeriods <= 0 {
+		return fmt.Errorf("fleet: non-positive mean duration %g", c.MeanDurationPeriods)
+	}
+	if c.MaxDurationPeriods < 1 {
+		return fmt.Errorf("fleet: max duration %d < 1", c.MaxDurationPeriods)
+	}
+	total := 0.0
+	for i, w := range c.ClassWeights {
+		if w < 0 {
+			return fmt.Errorf("fleet: negative class weight %g for %s", w, app.Classes()[i])
+		}
+		total += w
+	}
+	if total <= 0 {
+		return fmt.Errorf("fleet: class weights sum to zero")
+	}
+	return nil
+}
+
+// Arrival is one job arrival of the generated trace.
+type Arrival struct {
+	// Job is a unique, dense job identifier (trace order).
+	Job int `json:"job"`
+	// Period is the monitoring period the job arrives at.
+	Period int `json:"period"`
+	// App is the catalog profile the job runs.
+	App string `json:"app"`
+	// DurationPeriods is the job's service time in stepped periods.
+	DurationPeriods int `json:"duration_periods"`
+}
+
+// GenArrivals generates the arrival trace for a horizon. Per period the
+// arrival count is Poisson(RatePerPeriod); each arrival picks a class by
+// weight, a profile uniformly within the class, and an exponential
+// service time. Draw order is fixed, so the trace is deterministic in
+// the config.
+func GenArrivals(cfg ArrivalConfig, horizonPeriods int) ([]Arrival, error) {
+	cfg.defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pools := make([][]app.Profile, 0, 4)
+	weights := make([]float64, 0, 4)
+	totalW := 0.0
+	for i, class := range app.Classes() {
+		pool := app.ByClass(class)
+		w := cfg.ClassWeights[i]
+		if w <= 0 || len(pool) == 0 {
+			continue
+		}
+		pools = append(pools, pool)
+		weights = append(weights, w)
+		totalW += w
+	}
+	if totalW <= 0 {
+		return nil, fmt.Errorf("fleet: no profiles under the configured class weights")
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []Arrival
+	id := 0
+	for p := 0; p < horizonPeriods; p++ {
+		for n := poisson(rng, cfg.RatePerPeriod); n > 0; n-- {
+			// Class by weight, profile uniform within the class.
+			x := rng.Float64() * totalW
+			ci := 0
+			for ci < len(weights)-1 && x >= weights[ci] {
+				x -= weights[ci]
+				ci++
+			}
+			prof := pools[ci][rng.Intn(len(pools[ci]))]
+			d := int(math.Ceil(rng.ExpFloat64() * cfg.MeanDurationPeriods))
+			if d < 1 {
+				d = 1
+			}
+			if d > cfg.MaxDurationPeriods {
+				d = cfg.MaxDurationPeriods
+			}
+			out = append(out, Arrival{Job: id, Period: p, App: prof.Name, DurationPeriods: d})
+			id++
+		}
+	}
+	return out, nil
+}
+
+// poisson draws a Poisson variate by Knuth's product method — exact and
+// cheap at the per-period rates the fleet uses (≲ 10).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

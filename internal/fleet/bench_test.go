@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"testing"
+)
+
+// BenchmarkFleetStep measures one cluster monitoring period end to end —
+// admission, placement, concurrent node stepping, aggregation — on a
+// loaded 4-node fleet. The cluster is rebuilt when the horizon runs out
+// (setup cost excluded via timer pauses).
+func BenchmarkFleetStep(b *testing.B) {
+	mk := func() *Cluster {
+		c, err := New(Config{
+			Nodes:          4,
+			HorizonPeriods: 1 << 20,
+			Arrivals:       ArrivalConfig{Seed: 1, RatePerPeriod: 2, MeanDurationPeriods: 10},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the fleet to a steady-state population.
+		for i := 0; i < 20; i++ {
+			if err := c.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return c
+	}
+	c := mk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetPlacement isolates the scheduler pass: admission plus
+// headroom placement over a full queue, no node stepping.
+func BenchmarkFleetPlacement(b *testing.B) {
+	c, err := New(Config{
+		Nodes:          8,
+		HorizonPeriods: 4,
+		Arrivals:       ArrivalConfig{Seed: 2, RatePerPeriod: 8, MeanDurationPeriods: 20},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Step(); err != nil {
+		b.Fatal(err)
+	}
+	job := &Job{Profile: c.nodes[0].cfg.HP}
+	views := make([]NodeView, 0, len(c.nodes))
+	for i, n := range c.nodes {
+		views = append(views, n.view(c.lastGbps[i], 0))
+	}
+	sched := HeadroomScheduler{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.Pick(job, views)
+	}
+}

@@ -1,0 +1,38 @@
+package fleet
+
+import "dicer/internal/metrics"
+
+// Sample converts a cluster record into the metrics package's fleet
+// sample shape, for the Prometheus FleetExporter (which cannot depend on
+// this package).
+func (r *ClusterRecord) Sample() metrics.FleetSample {
+	s := metrics.FleetSample{
+		Period:        r.Period,
+		Arrivals:      r.Arrivals,
+		Admitted:      r.Admitted,
+		Rejected:      r.Rejected,
+		Placed:        r.Placed,
+		Requeued:      r.Requeued,
+		Dropped:       r.Dropped,
+		Done:          r.Done,
+		QueueLen:      r.QueueLen,
+		Running:       r.Running,
+		Freezes:       r.Freezes,
+		Losses:        r.Losses,
+		SLOViolations: r.SLOViolations,
+		FleetEFU:      r.FleetEFU,
+	}
+	for _, hb := range r.Nodes {
+		s.Nodes = append(s.Nodes, metrics.FleetNode{
+			Node:        hb.Node,
+			Frozen:      hb.Frozen,
+			Lost:        hb.Lost,
+			BECount:     hb.BECount,
+			HPNorm:      hb.HPNorm,
+			TotalGbps:   hb.TotalGbps,
+			Saturated:   hb.Saturated,
+			SLOViolated: hb.SLOViolated,
+		})
+	}
+	return s
+}

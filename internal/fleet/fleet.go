@@ -1,0 +1,622 @@
+// Package fleet consolidates the single-node DICER simulation into a
+// multi-node cluster: N simulated servers, each pinned to one
+// high-priority application under a node-local partitioning policy,
+// absorbing an open-loop stream of best-effort jobs through admission
+// control and a pluggable placement scheduler. The cluster steps nodes
+// concurrently but aggregates deterministically, so the same
+// configuration always produces a byte-identical cluster trace.
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dicer/internal/app"
+	"dicer/internal/chaos"
+	"dicer/internal/core"
+	"dicer/internal/machine"
+	"dicer/internal/metrics"
+	"dicer/internal/obs"
+	"dicer/internal/sim"
+)
+
+// Config describes a fleet run.
+type Config struct {
+	// Nodes is the cluster size. Default 4.
+	Nodes int
+	// Machine is the per-node platform. Zero value means machine.Default.
+	Machine machine.Machine
+	// HPs names the high-priority applications, assigned to nodes
+	// round-robin. Default: a cache-sensitive mix.
+	HPs []string
+	// Policy is the node-local policy on every node: "UM", "CT" or
+	// "DICER" (default).
+	Policy string
+	// DICER configures the controller when Policy is "DICER". Zero value
+	// means core.DefaultConfig.
+	DICER core.Config
+	// SLO is each HP's target fraction of alone performance. Default 0.9.
+	SLO float64
+
+	PeriodSec      float64 // default 1.0
+	StepsPerPeriod int     // default 4
+	HorizonPeriods int     // default 120
+	// AloneHorizonPeriods is the horizon of locally computed alone-run
+	// reference IPCs, independent of the cluster horizon. Default 120.
+	AloneHorizonPeriods int
+
+	// Arrivals drives the BE job generator.
+	Arrivals ArrivalConfig
+	// Scheduler picks the placement scheduler by name ("random",
+	// "least-loaded", "headroom" — the default); SchedSeed feeds the
+	// random scheduler.
+	Scheduler string
+	SchedSeed int64
+	// QueueCap bounds the admission queue; arrivals beyond it are
+	// rejected. Default 32.
+	QueueCap int
+	// MaxPlaceAttempts bounds how many times a job may be placed
+	// (initial placement plus re-placements after node loss) before it is
+	// dropped. Default 5.
+	MaxPlaceAttempts int
+	// BackoffPeriods delays a re-queued orphan's next placement attempt
+	// by attempts × this many periods. Default 2.
+	BackoffPeriods int
+
+	// Workers bounds concurrent node stepping. Default GOMAXPROCS.
+	Workers int
+
+	// NodeChaos schedules node freeze/loss events.
+	NodeChaos chaos.NodeSchedule
+
+	// Trace, when set, receives the JSONL cluster trace.
+	Trace io.Writer
+
+	// AloneIPC, when set, resolves alone-run reference IPCs by profile
+	// name instead of simulating them (the experiment suite shares one
+	// memoised table across cells).
+	AloneIPC func(name string) (float64, error)
+
+	// OnPeriod, when set, observes each period's record (and the queue
+	// as of the period's end) after the record is written; serve mode
+	// feeds its exporter and endpoint snapshots from here. The callback
+	// runs outside the cluster's step lock, so it may call back into the
+	// cluster.
+	OnPeriod func(rec *ClusterRecord, queue []QueueEntry)
+}
+
+// withDefaults returns cfg with unset fields filled.
+func (cfg Config) withDefaults() Config {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Machine.Cores == 0 {
+		cfg.Machine = machine.Default()
+	}
+	if len(cfg.HPs) == 0 {
+		cfg.HPs = []string{"omnetpp1", "sphinx1", "mcf1", "Xalan1"}
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "DICER"
+	}
+	if cfg.DICER == (core.Config{}) {
+		cfg.DICER = core.DefaultConfig()
+	}
+	if cfg.SLO == 0 {
+		cfg.SLO = 0.9
+	}
+	if cfg.PeriodSec == 0 {
+		cfg.PeriodSec = 1.0
+	}
+	if cfg.StepsPerPeriod == 0 {
+		cfg.StepsPerPeriod = 4
+	}
+	if cfg.HorizonPeriods == 0 {
+		cfg.HorizonPeriods = 120
+	}
+	if cfg.AloneHorizonPeriods == 0 {
+		cfg.AloneHorizonPeriods = 120
+	}
+	if cfg.Scheduler == "" {
+		cfg.Scheduler = "headroom"
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 32
+	}
+	if cfg.MaxPlaceAttempts == 0 {
+		cfg.MaxPlaceAttempts = 5
+	}
+	if cfg.BackoffPeriods == 0 {
+		cfg.BackoffPeriods = 2
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return cfg
+}
+
+// Result summarises a fleet run.
+type Result struct {
+	Scheduler string `json:"scheduler"`
+	Policy    string `json:"policy"`
+	Nodes     int    `json:"nodes"`
+	Periods   int    `json:"periods"`
+
+	Arrivals   int `json:"arrivals"`
+	Admitted   int `json:"admitted"`
+	Rejected   int `json:"rejected"`
+	Placements int `json:"placements"`
+	Requeued   int `json:"requeued"`
+	Dropped    int `json:"dropped"`
+	Done       int `json:"done"`
+	QueuedEnd  int `json:"queued_at_end"`
+	RunningEnd int `json:"running_at_end"`
+
+	Freezes int `json:"freezes"`
+	Losses  int `json:"losses"`
+
+	// FleetEFU is the per-period fleet EFU averaged over the horizon.
+	FleetEFU float64 `json:"fleet_efu"`
+	// SLOViolationPeriods counts (node, period) cells where a live HP
+	// missed its SLO.
+	SLOViolationPeriods int `json:"slo_violation_periods"`
+	// RejectRate is Rejected / Arrivals (0 when no arrivals).
+	RejectRate float64 `json:"reject_rate"`
+	// MeanQueueWait / P95QueueWait summarise periods from arrival to
+	// first placement over jobs that were placed at least once.
+	MeanQueueWait float64 `json:"mean_queue_wait_periods"`
+	P95QueueWait  float64 `json:"p95_queue_wait_periods"`
+}
+
+// Cluster is a running fleet. Build with New, drive with Run (or Step in
+// a loop followed by Finish).
+type Cluster struct {
+	cfg      Config
+	nodes    []*Node
+	sched    Scheduler
+	arrivals []Arrival
+	nextArr  int
+	queue    []*Job
+
+	alone map[string]float64
+
+	period    int
+	lastGbps  []float64 // per node, most recent live heartbeat
+	waits     []float64
+	efuSum    float64
+	res       Result
+	lw        *obs.LineWriter
+	lastRec   *ClusterRecord
+	stepMu    sync.Mutex
+	finished  bool
+	finishErr error
+}
+
+// New validates the configuration, generates the arrival trace, resolves
+// alone-run references and builds the nodes (HP attached, policy set
+// up). The trace header is written immediately.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("fleet: need at least one node, got %d", cfg.Nodes)
+	}
+	if cfg.Machine.Cores < 2 {
+		return nil, fmt.Errorf("fleet: machine needs >=2 cores for HP + BEs")
+	}
+	if err := cfg.NodeChaos.Validate(); err != nil {
+		return nil, err
+	}
+	sched, err := NewScheduler(cfg.Scheduler, cfg.SchedSeed)
+	if err != nil {
+		return nil, err
+	}
+	arrivals, err := GenArrivals(cfg.Arrivals, cfg.HorizonPeriods)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{
+		cfg:      cfg,
+		sched:    sched,
+		arrivals: arrivals,
+		alone:    map[string]float64{},
+		lastGbps: make([]float64, cfg.Nodes),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		hpName := cfg.HPs[i%len(cfg.HPs)]
+		hp, err := app.ByName(hpName)
+		if err != nil {
+			return nil, err
+		}
+		hpAlone, err := c.aloneIPC(hpName)
+		if err != nil {
+			return nil, err
+		}
+		n, err := NewNode(NodeConfig{
+			ID:             i,
+			Machine:        cfg.Machine,
+			HP:             hp,
+			HPAloneIPC:     hpAlone,
+			Policy:         cfg.Policy,
+			DICER:          cfg.DICER,
+			SLO:            cfg.SLO,
+			PeriodSec:      cfg.PeriodSec,
+			StepsPerPeriod: cfg.StepsPerPeriod,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, n)
+	}
+
+	c.res = Result{
+		Scheduler: cfg.Scheduler,
+		Policy:    cfg.Policy,
+		Nodes:     cfg.Nodes,
+		Arrivals:  len(arrivals),
+	}
+
+	if cfg.Trace != nil {
+		c.lw = obs.NewLineWriter(cfg.Trace)
+		c.lw.WriteLine(c.header())
+		if err := c.lw.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// header builds the trace header.
+func (c *Cluster) header() TraceHeader {
+	arr := c.cfg.Arrivals
+	arr.defaults()
+	return TraceHeader{
+		Schema:         TraceSchema,
+		Nodes:          c.cfg.Nodes,
+		CoresPerNode:   c.cfg.Machine.Cores,
+		Policy:         c.cfg.Policy,
+		Scheduler:      c.cfg.Scheduler,
+		SchedSeed:      c.cfg.SchedSeed,
+		PeriodSec:      c.cfg.PeriodSec,
+		StepsPerPeriod: c.cfg.StepsPerPeriod,
+		HorizonPeriods: c.cfg.HorizonPeriods,
+		SLO:            c.cfg.SLO,
+		QueueCap:       c.cfg.QueueCap,
+		HPs:            c.cfg.HPs,
+		Arrivals:       arr,
+		NodeChaos:      c.cfg.NodeChaos.Name,
+	}
+}
+
+// aloneIPC resolves a profile's full-LLC alone-run IPC, memoised.
+func (c *Cluster) aloneIPC(name string) (float64, error) {
+	if v, ok := c.alone[name]; ok {
+		return v, nil
+	}
+	if c.cfg.AloneIPC != nil {
+		v, err := c.cfg.AloneIPC(name)
+		if err != nil {
+			return 0, err
+		}
+		c.alone[name] = v
+		return v, nil
+	}
+	prof, err := app.ByName(name)
+	if err != nil {
+		return 0, err
+	}
+	r, err := sim.New(c.cfg.Machine, 1)
+	if err != nil {
+		return 0, err
+	}
+	if err := r.Attach(0, 0, prof); err != nil {
+		return 0, err
+	}
+	dt := c.cfg.PeriodSec / float64(c.cfg.StepsPerPeriod)
+	for i := 0; i < c.cfg.AloneHorizonPeriods*c.cfg.StepsPerPeriod; i++ {
+		r.Step(dt)
+	}
+	v := r.Proc(0).IPC()
+	c.alone[name] = v
+	return v, nil
+}
+
+// Period returns the number of completed periods.
+func (c *Cluster) Period() int {
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+	return c.period
+}
+
+// Done reports whether the horizon has been reached.
+func (c *Cluster) Done() bool {
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+	return c.period >= c.cfg.HorizonPeriods
+}
+
+// LastRecord returns a copy of the most recent period record, if any.
+func (c *Cluster) LastRecord() (ClusterRecord, bool) {
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+	if c.lastRec == nil {
+		return ClusterRecord{}, false
+	}
+	return *c.lastRec, true
+}
+
+// QueueEntry is one waiting job, as exposed on /queue.
+type QueueEntry struct {
+	Job           int    `json:"job"`
+	App           string `json:"app"`
+	ArrivalPeriod int    `json:"arrival_period"`
+	Attempts      int    `json:"attempts,omitempty"`
+	NotBefore     int    `json:"not_before,omitempty"`
+}
+
+// QueueSnapshot returns the current admission queue in order.
+func (c *Cluster) QueueSnapshot() []QueueEntry {
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+	return c.queueSnapshotLocked()
+}
+
+func (c *Cluster) queueSnapshotLocked() []QueueEntry {
+	out := make([]QueueEntry, 0, len(c.queue))
+	for _, j := range c.queue {
+		out = append(out, QueueEntry{
+			Job:           j.ID,
+			App:           j.Profile.Name,
+			ArrivalPeriod: j.ArrivalPeriod,
+			Attempts:      j.Attempts,
+			NotBefore:     j.NotBefore,
+		})
+	}
+	return out
+}
+
+// Step advances the cluster by one monitoring period: node chaos events
+// (freezes, losses with orphan re-queueing), arrivals and admission,
+// a placement pass, concurrent node stepping, then aggregation and trace
+// emission.
+func (c *Cluster) Step() error {
+	c.stepMu.Lock()
+	rec, err := c.stepLocked()
+	var q []QueueEntry
+	cb := c.cfg.OnPeriod
+	if err == nil && cb != nil {
+		q = c.queueSnapshotLocked()
+	}
+	c.stepMu.Unlock()
+	if err == nil && cb != nil {
+		cb(rec, q)
+	}
+	return err
+}
+
+// stepLocked is Step's body; stepMu is held.
+func (c *Cluster) stepLocked() (*ClusterRecord, error) {
+	if c.period >= c.cfg.HorizonPeriods {
+		return nil, fmt.Errorf("fleet: stepped past horizon %d", c.cfg.HorizonPeriods)
+	}
+	p := c.period
+	rec := &ClusterRecord{Period: p}
+
+	// Node chaos: freezes pause a node (jobs hold their cores and their
+	// remaining service time); loss is permanent and orphans the node's
+	// jobs back into the queue with backoff, up to the attempt bound.
+	for _, ev := range c.cfg.NodeChaos.At(p) {
+		if ev.Node >= len(c.nodes) {
+			continue
+		}
+		n := c.nodes[ev.Node]
+		if n.Lost() {
+			continue
+		}
+		switch ev.Fault {
+		case chaos.NodeFreeze:
+			n.Freeze(p, ev.Periods)
+			rec.Freezes++
+		case chaos.NodeLoss:
+			rec.Losses++
+			for _, j := range n.Lose() {
+				if j.Attempts >= c.cfg.MaxPlaceAttempts {
+					rec.Dropped++
+					c.res.Dropped++
+					continue
+				}
+				j.NotBefore = p + j.Attempts*c.cfg.BackoffPeriods
+				c.queue = append(c.queue, j)
+				rec.Requeued++
+				c.res.Requeued++
+			}
+		}
+	}
+	c.res.Freezes += rec.Freezes
+	c.res.Losses += rec.Losses
+
+	// Arrivals and admission: a full queue rejects.
+	for c.nextArr < len(c.arrivals) && c.arrivals[c.nextArr].Period == p {
+		a := c.arrivals[c.nextArr]
+		c.nextArr++
+		rec.Arrivals++
+		if len(c.queue) >= c.cfg.QueueCap {
+			rec.Rejected++
+			c.res.Rejected++
+			continue
+		}
+		prof, err := app.ByName(a.App)
+		if err != nil {
+			return nil, err
+		}
+		alone, err := c.aloneIPC(a.App)
+		if err != nil {
+			return nil, err
+		}
+		c.queue = append(c.queue, &Job{
+			ID:               a.Job,
+			Profile:          prof,
+			AloneIPC:         alone,
+			ArrivalPeriod:    a.Period,
+			PlacedPeriod:     -1,
+			RemainingPeriods: a.DurationPeriods,
+			Core:             -1,
+		})
+		rec.Admitted++
+		c.res.Admitted++
+	}
+
+	// Placement pass. Candidates are healthy nodes with a free core;
+	// pending accumulates the predicted bandwidth of this period's
+	// placements so successive picks see each other. The pass is
+	// sequential (FIFO over the queue) to keep the random scheduler's
+	// stream deterministic.
+	pending := make([]float64, len(c.nodes))
+	var kept []*Job
+	for _, j := range c.queue {
+		if j.NotBefore > p {
+			kept = append(kept, j)
+			continue
+		}
+		var views []NodeView
+		var owner []int
+		for i, n := range c.nodes {
+			if n.Lost() || n.Frozen(p) || n.FreeCores() <= 0 {
+				continue
+			}
+			views = append(views, n.view(c.lastGbps[i], pending[i]))
+			owner = append(owner, i)
+		}
+		idx, ok := c.sched.Pick(j, views)
+		if !ok || idx < 0 || idx >= len(views) {
+			kept = append(kept, j)
+			continue
+		}
+		ni := owner[idx]
+		n := c.nodes[ni]
+		if err := n.Place(j, p); err != nil {
+			return nil, err
+		}
+		j.Attempts++
+		pending[ni] += PredictJobGbps(c.cfg.Machine, j.Profile, views[idx].BEWays, views[idx].BECount)
+		rec.Placed++
+		c.res.Placements++
+		if j.Attempts == 1 {
+			c.waits = append(c.waits, float64(p-j.ArrivalPeriod))
+		}
+	}
+	c.queue = kept
+
+	// Step live nodes concurrently; results land in an index-addressed
+	// slice so aggregation order is deterministic regardless of
+	// scheduling. Frozen and lost nodes miss their heartbeat — the
+	// cluster synthesises a health-only one.
+	type stepOut struct {
+		hb        Heartbeat
+		completed []*Job
+		err       error
+		live      bool
+	}
+	outs := make([]stepOut, len(c.nodes))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.cfg.Workers)
+	for i, n := range c.nodes {
+		switch {
+		case n.Lost():
+			outs[i] = stepOut{hb: Heartbeat{Node: n.ID(), Lost: true}}
+		case n.Frozen(p):
+			outs[i] = stepOut{hb: Heartbeat{Node: n.ID(), Frozen: true, BECount: n.BECount()}}
+		default:
+			wg.Add(1)
+			go func(i int, n *Node) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				hb, done, err := n.StepPeriod(p)
+				outs[i] = stepOut{hb: hb, completed: done, err: err, live: true}
+			}(i, n)
+		}
+	}
+	wg.Wait()
+
+	normSum := 0.0
+	running := 0
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		rec.Nodes = append(rec.Nodes, o.hb)
+		if o.live {
+			c.lastGbps[i] = o.hb.TotalGbps
+			normSum += o.hb.NormSum
+			if o.hb.SLOViolated {
+				rec.SLOViolations++
+				c.res.SLOViolationPeriods++
+			}
+		}
+		rec.Done += len(o.completed)
+		c.res.Done += len(o.completed)
+		if !c.nodes[i].Lost() {
+			running += c.nodes[i].BECount()
+		}
+	}
+	sort.Slice(rec.Nodes, func(a, b int) bool { return rec.Nodes[a].Node < rec.Nodes[b].Node })
+	rec.QueueLen = len(c.queue)
+	rec.Running = running
+	rec.FleetEFU = normSum / float64(len(c.nodes)*c.cfg.Machine.Cores)
+	c.efuSum += rec.FleetEFU
+
+	if c.lw != nil {
+		c.lw.WriteLine(rec)
+		if err := c.lw.Err(); err != nil {
+			return nil, err
+		}
+	}
+	c.lastRec = rec
+	c.period++
+	return rec, nil
+}
+
+// Finish flushes the trace and returns the run summary. Idempotent.
+func (c *Cluster) Finish() (Result, error) {
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+	if c.finished {
+		return c.res, c.finishErr
+	}
+	c.finished = true
+	c.res.Periods = c.period
+	c.res.QueuedEnd = len(c.queue)
+	for _, n := range c.nodes {
+		if !n.Lost() {
+			c.res.RunningEnd += n.BECount()
+		}
+	}
+	if c.period > 0 {
+		c.res.FleetEFU = c.efuSum / float64(c.period)
+	}
+	if c.res.Arrivals > 0 {
+		c.res.RejectRate = float64(c.res.Rejected) / float64(c.res.Arrivals)
+	}
+	if len(c.waits) > 0 {
+		c.res.MeanQueueWait = metrics.Mean(c.waits)
+		c.res.P95QueueWait = metrics.NewCDF(c.waits).Quantile(0.95)
+	}
+	if c.lw != nil {
+		c.finishErr = c.lw.Flush()
+	}
+	return c.res, c.finishErr
+}
+
+// Run steps the cluster to its horizon and returns the summary.
+func (c *Cluster) Run() (Result, error) {
+	for !c.Done() {
+		if err := c.Step(); err != nil {
+			return Result{}, err
+		}
+	}
+	return c.Finish()
+}

@@ -1,0 +1,293 @@
+package fleet
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dicer/internal/app"
+	"dicer/internal/core"
+	"dicer/internal/machine"
+	"dicer/internal/metrics"
+	"dicer/internal/policy"
+	"dicer/internal/resctrl"
+	"dicer/internal/sim"
+)
+
+// Job is one admitted best-effort job: a catalog application that
+// occupies one core of one node for a bounded number of stepped
+// monitoring periods. Jobs move through the fleet as arrival → queue →
+// placement → completion, possibly cycling back through the queue when
+// their node is lost.
+type Job struct {
+	ID      int
+	Profile app.Profile
+	// AloneIPC is the profile's full-LLC alone-run reference, resolved
+	// at admission; per-period normalised IPCs (and thus fleet EFU) are
+	// computed against it.
+	AloneIPC float64
+	// ArrivalPeriod is when the job entered the system; PlacedPeriod is
+	// when it first landed on a node (-1 while queued).
+	ArrivalPeriod int
+	PlacedPeriod  int
+	// RemainingPeriods counts down the service time over stepped periods
+	// (a frozen node does not step, so its jobs pause).
+	RemainingPeriods int
+	// Core is the node core the job runs on (-1 while queued).
+	Core int
+	// Attempts counts placements (first placement plus re-placements
+	// after node loss); NotBefore gates backoff-delayed retries.
+	Attempts  int
+	NotBefore int
+}
+
+// NodeConfig describes one fleet node: a simulated server running one HP
+// application under a node-local consolidation policy.
+type NodeConfig struct {
+	ID      int
+	Machine machine.Machine
+	HP      app.Profile
+	// HPAloneIPC is the HP's full-LLC alone-run IPC (the SLO and
+	// normalisation reference).
+	HPAloneIPC float64
+	// Policy is the node-local policy: "UM", "CT" or "DICER".
+	Policy string
+	// DICER configures the controller when Policy is "DICER".
+	DICER core.Config
+	// SLO is the HP's target fraction of alone performance.
+	SLO            float64
+	PeriodSec      float64
+	StepsPerPeriod int
+}
+
+// Heartbeat is one node's per-period status report, the unit the cluster
+// aggregates into its trace records and Prometheus metrics. A frozen
+// node misses heartbeats: the cluster synthesises one with Frozen set
+// and no readings, so the record stream stays dense and the scheduler's
+// health view is explicit in the trace.
+type Heartbeat struct {
+	Node   int  `json:"node"`
+	Frozen bool `json:"frozen,omitempty"`
+	Lost   bool `json:"lost,omitempty"`
+
+	HPIPC     float64 `json:"hp_ipc,omitempty"`
+	HPNorm    float64 `json:"hp_norm,omitempty"`
+	BECount   int     `json:"be_count"`
+	HPWays    int     `json:"hp_ways,omitempty"`
+	HPBWGbps  float64 `json:"hp_bw_gbps,omitempty"`
+	TotalGbps float64 `json:"total_bw_gbps,omitempty"`
+	// Saturated reports the link past its queueing knee this period.
+	Saturated bool `json:"saturated,omitempty"`
+	// SLOViolated reports the HP below SLO × alone this period.
+	SLOViolated bool `json:"slo_violated,omitempty"`
+	// NormSum is the sum of normalised IPCs of every running process
+	// (HP + BE jobs); the cluster divides by fleet capacity for EFU.
+	NormSum float64 `json:"norm_sum,omitempty"`
+}
+
+// Node is one simulated server of the cluster.
+type Node struct {
+	cfg    NodeConfig
+	runner *sim.Runner
+	sys    *resctrl.Emu
+	pol    policy.Policy
+	meter  *resctrl.Meter
+
+	// jobs indexes running jobs by core (nil = free); cores 1..Cores-1
+	// hold BE jobs, core 0 the HP.
+	jobs    []*Job
+	beCount int
+
+	frozenUntil int // exclusive period bound; frozen while period < this
+	lost        bool
+}
+
+// buildNodePolicy constructs the node-local policy instance.
+func buildNodePolicy(name string, dcfg core.Config) (policy.Policy, error) {
+	if p, ok := policy.ByName(name); ok {
+		return p, nil
+	}
+	if name == "DICER" || name == "dicer" {
+		return core.New(dcfg)
+	}
+	return nil, fmt.Errorf("fleet: unknown node policy %q (have UM, CT, DICER)", name)
+}
+
+// NewNode builds a node, attaches its HP on core 0 and runs the policy's
+// Setup.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.SLO <= 0 || cfg.SLO > 1 {
+		return nil, fmt.Errorf("fleet: node %d SLO %g outside (0,1]", cfg.ID, cfg.SLO)
+	}
+	if cfg.HPAloneIPC <= 0 {
+		return nil, fmt.Errorf("fleet: node %d needs a positive HP alone-IPC reference", cfg.ID)
+	}
+	r, err := sim.New(cfg.Machine, 2)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Attach(0, policy.HPClos, cfg.HP); err != nil {
+		return nil, err
+	}
+	pol, err := buildNodePolicy(cfg.Policy, cfg.DICER)
+	if err != nil {
+		return nil, err
+	}
+	sys := resctrl.NewEmu(r, false)
+	if err := pol.Setup(sys); err != nil {
+		return nil, err
+	}
+	return &Node{
+		cfg:    cfg,
+		runner: r,
+		sys:    sys,
+		pol:    pol,
+		meter:  resctrl.NewMeter(sys),
+		jobs:   make([]*Job, cfg.Machine.Cores),
+	}, nil
+}
+
+// ID returns the node index.
+func (n *Node) ID() int { return n.cfg.ID }
+
+// FreeCores returns the number of cores available for BE jobs.
+func (n *Node) FreeCores() int { return n.cfg.Machine.Cores - 1 - n.beCount }
+
+// BECount returns the number of running BE jobs.
+func (n *Node) BECount() int { return n.beCount }
+
+// Lost reports whether the node has been lost to chaos.
+func (n *Node) Lost() bool { return n.lost }
+
+// Frozen reports whether the node is frozen at the given period.
+func (n *Node) Frozen(period int) bool { return !n.lost && period < n.frozenUntil }
+
+// Freeze suspends the node for the given number of periods starting at
+// period: it will not step and will miss heartbeats until it thaws.
+func (n *Node) Freeze(period, periods int) {
+	if until := period + periods; until > n.frozenUntil {
+		n.frozenUntil = until
+	}
+}
+
+// Lose kills the node permanently and returns its orphaned jobs for
+// re-placement.
+func (n *Node) Lose() []*Job {
+	n.lost = true
+	var orphans []*Job
+	for c, j := range n.jobs {
+		if j == nil {
+			continue
+		}
+		_ = n.runner.Detach(c)
+		j.Core = -1
+		n.jobs[c] = nil
+		orphans = append(orphans, j)
+	}
+	n.beCount = 0
+	return orphans
+}
+
+// Place attaches a BE job to the lowest free core. The meter is
+// rebaselined so the next period's readings start from the new
+// population's counters.
+func (n *Node) Place(j *Job, period int) error {
+	if n.lost {
+		return fmt.Errorf("fleet: placing job %d on lost node %d", j.ID, n.cfg.ID)
+	}
+	if n.Frozen(period) {
+		return fmt.Errorf("fleet: placing job %d on frozen node %d", j.ID, n.cfg.ID)
+	}
+	for c := 1; c < len(n.jobs); c++ {
+		if n.jobs[c] == nil {
+			if err := n.runner.Attach(c, policy.BEClos, j.Profile); err != nil {
+				return err
+			}
+			n.jobs[c] = j
+			n.beCount++
+			j.Core = c
+			if j.PlacedPeriod < 0 {
+				j.PlacedPeriod = period
+			}
+			n.meter.Rebaseline()
+			return nil
+		}
+	}
+	return fmt.Errorf("fleet: node %d has no free core for job %d", n.cfg.ID, j.ID)
+}
+
+// StepPeriod advances the node by one monitoring period: step the
+// simulator, sample the meter, let the policy observe, then account job
+// progress. Completed jobs are detached and returned. Not called for
+// frozen or lost nodes.
+func (n *Node) StepPeriod(period int) (Heartbeat, []*Job, error) {
+	dt := n.cfg.PeriodSec / float64(n.cfg.StepsPerPeriod)
+	for s := 0; s < n.cfg.StepsPerPeriod; s++ {
+		n.runner.Step(dt)
+	}
+	p := n.meter.Sample()
+	if err := n.pol.Observe(n.sys, p); err != nil {
+		return Heartbeat{Node: n.cfg.ID}, nil, fmt.Errorf("fleet: node %d policy %s: %w", n.cfg.ID, n.pol.Name(), err)
+	}
+
+	hb := Heartbeat{Node: n.cfg.ID, BECount: n.beCount}
+	hb.HPIPC = p.CoreIPC(0)
+	hb.HPNorm = metrics.NormIPC(hb.HPIPC, n.cfg.HPAloneIPC)
+	hb.HPWays = bits.OnesCount64(n.sys.CBM(policy.HPClos))
+	hb.HPBWGbps = p.GroupBW(policy.HPClos)
+	hb.TotalGbps = p.TotalGbps
+	link := n.cfg.Machine.Link
+	hb.Saturated = p.TotalGbps > link.Knee*link.CapacityGBps
+	hb.SLOViolated = !metrics.SLOAchieved(hb.HPIPC, n.cfg.HPAloneIPC, n.cfg.SLO)
+	hb.NormSum = hb.HPNorm
+
+	var completed []*Job
+	for c := 1; c < len(n.jobs); c++ {
+		j := n.jobs[c]
+		if j == nil {
+			continue
+		}
+		hb.NormSum += metrics.NormIPC(p.CoreIPC(c), j.AloneIPC)
+		j.RemainingPeriods--
+		if j.RemainingPeriods <= 0 {
+			completed = append(completed, j)
+		}
+	}
+	for _, j := range completed {
+		_ = n.runner.Detach(j.Core)
+		n.jobs[j.Core] = nil
+		j.Core = -1
+		n.beCount--
+	}
+	if len(completed) > 0 {
+		n.meter.Rebaseline()
+	}
+	return hb, completed, nil
+}
+
+// view builds the scheduler's snapshot of this node. lastTotalGbps is
+// the node's most recent heartbeat bandwidth; pendingGbps accumulates
+// the predicted demand of jobs placed earlier in the same period so
+// successive placements see each other.
+func (n *Node) view(lastTotalGbps, pendingGbps float64) NodeView {
+	m := n.cfg.Machine
+	beWays := bits.OnesCount64(n.sys.CBM(policy.BEClos))
+	v := NodeView{
+		ID:          n.cfg.ID,
+		FreeCores:   n.FreeCores(),
+		BECount:     n.beCount,
+		BEWays:      beWays,
+		TotalGbps:   lastTotalGbps + pendingGbps,
+		Machine:     m,
+	}
+	beBytes := m.WaysBytes(beWays)
+	for c := 1; c < len(n.jobs); c++ {
+		if j := n.jobs[c]; j != nil {
+			fp := j.Profile.MaxFootprint()
+			if fp > beBytes {
+				fp = beBytes
+			}
+			v.BEFootprint += fp
+		}
+	}
+	return v
+}

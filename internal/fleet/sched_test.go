@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"dicer/internal/app"
+	"dicer/internal/chaos"
+	"dicer/internal/machine"
+)
+
+// TestPlacementCapacityProperty runs an overloaded cluster under every
+// scheduler and checks the core-capacity invariant on every period
+// record: no node ever reports more BEs than it has spare cores, and
+// the cluster never runs more jobs than fleet BE capacity.
+func TestPlacementCapacityProperty(t *testing.T) {
+	for _, sched := range SchedulerNames() {
+		var buf bytes.Buffer
+		runFleet(t, Config{
+			Nodes:          3,
+			HorizonPeriods: 40,
+			Scheduler:      sched,
+			SchedSeed:      17,
+			Arrivals:       ArrivalConfig{Seed: 13, RatePerPeriod: 6, MeanDurationPeriods: 15},
+			QueueCap:       64,
+			Trace:          &buf,
+		})
+		_, recs, err := ReadClusterTrace(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := machine.Default()
+		beCap := m.Cores - 1
+		for _, rec := range recs {
+			total := 0
+			for _, hb := range rec.Nodes {
+				if hb.BECount > beCap {
+					t.Fatalf("%s: period %d node %d runs %d BEs, capacity %d",
+						sched, rec.Period, hb.Node, hb.BECount, beCap)
+				}
+				total += hb.BECount
+			}
+			if total > 3*beCap {
+				t.Fatalf("%s: period %d cluster runs %d BEs, capacity %d", sched, rec.Period, total, 3*beCap)
+			}
+		}
+	}
+}
+
+// TestNoPlacementOnFrozenNode freezes a node for a long window under
+// heavy load: its BE population must not change while frozen (Place on a
+// frozen node is an error that would fail the run).
+func TestNoPlacementOnFrozenNode(t *testing.T) {
+	var buf bytes.Buffer
+	freezeAt, freezeFor := 5, 12
+	runFleet(t, Config{
+		Nodes:          2,
+		HorizonPeriods: 30,
+		Arrivals:       ArrivalConfig{Seed: 4, RatePerPeriod: 3, MeanDurationPeriods: 10},
+		QueueCap:       64,
+		NodeChaos: chaos.NodeSchedule{Name: "one-freeze", Events: []chaos.NodeEvent{
+			{Period: freezeAt, Node: 1, Fault: chaos.NodeFreeze, Periods: freezeFor},
+		}},
+		Trace: &buf,
+	})
+	_, recs, err := ReadClusterTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozenCount := -1
+	sawFrozen := false
+	for _, rec := range recs {
+		hb := rec.Nodes[1]
+		if rec.Period >= freezeAt && rec.Period < freezeAt+freezeFor {
+			if !hb.Frozen {
+				t.Fatalf("period %d: node 1 should be frozen: %+v", rec.Period, hb)
+			}
+			sawFrozen = true
+			if frozenCount == -1 {
+				frozenCount = hb.BECount
+			} else if hb.BECount != frozenCount {
+				t.Fatalf("period %d: frozen node's BE count changed %d -> %d",
+					rec.Period, frozenCount, hb.BECount)
+			}
+			if hb.TotalGbps != 0 || hb.HPIPC != 0 {
+				t.Fatalf("period %d: frozen node reported readings: %+v", rec.Period, hb)
+			}
+		} else if hb.Frozen {
+			t.Fatalf("period %d: node 1 frozen outside the window", rec.Period)
+		}
+	}
+	if !sawFrozen {
+		t.Fatal("freeze window never observed")
+	}
+}
+
+// TestHeadroomRefusesSaturatedNodes pins the knee feasibility rule: a
+// streamer must not be placed on a node whose link is already at the
+// knee when an unsaturated candidate exists, and when every candidate is
+// past the knee the job queues.
+func TestHeadroomRefusesSaturatedNodes(t *testing.T) {
+	m := machine.Default()
+	knee := m.Link.Knee * m.Link.CapacityGBps
+	job := &Job{Profile: app.MustByName("lbm1")} // heavy streamer
+	sched := HeadroomScheduler{}
+
+	saturated := NodeView{ID: 0, FreeCores: 5, BEWays: 10, TotalGbps: knee - 0.1, Machine: m}
+	idle := NodeView{ID: 1, FreeCores: 5, BEWays: 10, TotalGbps: 0, Machine: m}
+
+	idx, ok := sched.Pick(job, []NodeView{saturated, idle})
+	if !ok || idx != 1 {
+		t.Fatalf("Pick = (%d, %v), want the idle node (1, true)", idx, ok)
+	}
+
+	if _, ok := sched.Pick(job, []NodeView{saturated, saturated}); ok {
+		t.Fatal("placed a streamer with every candidate at the knee; want queueing")
+	}
+
+	if pred := PredictJobGbps(m, job.Profile, 10, 0); pred <= 0 {
+		t.Fatalf("predicted bandwidth for a streamer should be positive, got %g", pred)
+	}
+}
+
+// TestHeadroomPrefersHeadroom checks the score orders candidates by
+// remaining bandwidth headroom (worst-fit) for a compute-bound job too.
+func TestHeadroomPrefersHeadroom(t *testing.T) {
+	m := machine.Default()
+	job := &Job{Profile: app.MustByName("namd1")}
+	busy := NodeView{ID: 0, FreeCores: 5, BEWays: 10, TotalGbps: 20, Machine: m}
+	idle := NodeView{ID: 1, FreeCores: 5, BEWays: 10, TotalGbps: 2, Machine: m}
+	idx, ok := HeadroomScheduler{}.Pick(job, []NodeView{busy, idle})
+	if !ok || idx != 1 {
+		t.Fatalf("Pick = (%d, %v), want the idle node", idx, ok)
+	}
+}
+
+// TestLeastLoadedPicksMinimum pins the least-loaded tie-break.
+func TestLeastLoadedPicksMinimum(t *testing.T) {
+	views := []NodeView{
+		{ID: 0, BECount: 3},
+		{ID: 1, BECount: 1},
+		{ID: 2, BECount: 1},
+	}
+	idx, ok := LeastLoadedScheduler{}.Pick(nil, views)
+	if !ok || idx != 1 {
+		t.Fatalf("Pick = (%d, %v), want (1, true)", idx, ok)
+	}
+	if _, ok := (LeastLoadedScheduler{}).Pick(nil, nil); ok {
+		t.Fatal("no candidates should not place")
+	}
+}
+
+// TestRandomSchedulerSeeded pins the random scheduler's determinism.
+func TestRandomSchedulerSeeded(t *testing.T) {
+	views := make([]NodeView, 5)
+	a, _ := NewScheduler("random", 99)
+	b, _ := NewScheduler("random", 99)
+	for i := 0; i < 50; i++ {
+		ia, _ := a.Pick(nil, views)
+		ib, _ := b.Pick(nil, views)
+		if ia != ib {
+			t.Fatalf("draw %d: %d != %d", i, ia, ib)
+		}
+	}
+	if _, err := NewScheduler("bogus", 0); err == nil {
+		t.Fatal("unknown scheduler should error")
+	}
+}

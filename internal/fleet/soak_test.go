@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"dicer/internal/chaos"
+)
+
+// TestFleetSoakChaos is the race-detector soak: a cluster under the
+// node-storm chaos schedule (freezes and losses) with concurrent node
+// stepping, long enough for chaos to actually land. CI runs the package
+// under -race, so this doubles as the data-race smoke for the worker
+// pool. Invariants are re-checked on every record.
+func TestFleetSoakChaos(t *testing.T) {
+	horizon := 120
+	if testing.Short() {
+		horizon = 40
+	}
+	var buf bytes.Buffer
+	c, err := New(Config{
+		Nodes:          4,
+		HorizonPeriods: horizon,
+		Scheduler:      "headroom",
+		Arrivals:       ArrivalConfig{Seed: 31, RatePerPeriod: 2, MeanDurationPeriods: 8},
+		QueueCap:       48,
+		NodeChaos:      chaos.GenNodeSchedule("node-storm", 31, 4, horizon, 0.015, 0.004, 4),
+		Workers:        4,
+		Trace:          &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Freezes == 0 && res.Losses == 0 {
+		t.Fatal("soak schedule produced no chaos; raise the rates")
+	}
+	if got := res.Done + res.RunningEnd + res.QueuedEnd + res.Dropped; got != res.Admitted {
+		t.Fatalf("job conservation broke under chaos: %+v", res)
+	}
+	_, recs, err := ReadClusterTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != horizon {
+		t.Fatalf("%d records, want %d", len(recs), horizon)
+	}
+	lost := make(map[int]bool)
+	for _, rec := range recs {
+		for _, hb := range rec.Nodes {
+			if lost[hb.Node] && !hb.Lost {
+				t.Fatalf("period %d: node %d came back from the dead", rec.Period, hb.Node)
+			}
+			if hb.Lost {
+				lost[hb.Node] = true
+			}
+			if hb.Frozen && hb.Lost {
+				t.Fatalf("period %d: node %d both frozen and lost", rec.Period, hb.Node)
+			}
+		}
+		if rec.FleetEFU < 0 {
+			t.Fatalf("period %d: negative fleet EFU", rec.Period)
+		}
+	}
+}

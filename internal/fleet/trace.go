@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceSchema identifies the cluster trace format. The first line of a
+// trace is a TraceHeader carrying this tag; every following line is one
+// ClusterRecord. Marshalling goes through obs.LineWriter, so field order
+// is struct order and the byte stream is deterministic.
+const TraceSchema = "dicer-fleet/v1"
+
+// TraceHeader is the first line of a cluster trace: everything needed to
+// regenerate the run (the arrival trace is a pure function of Arrivals,
+// node chaos of NodeChaos+seed parameters recorded by name).
+type TraceHeader struct {
+	Schema         string        `json:"schema"`
+	Nodes          int           `json:"nodes"`
+	CoresPerNode   int           `json:"cores_per_node"`
+	Policy         string        `json:"policy"`
+	Scheduler      string        `json:"scheduler"`
+	SchedSeed      int64         `json:"sched_seed,omitempty"`
+	PeriodSec      float64       `json:"period_sec"`
+	StepsPerPeriod int           `json:"steps_per_period"`
+	HorizonPeriods int           `json:"horizon_periods"`
+	SLO            float64       `json:"slo"`
+	QueueCap       int           `json:"queue_cap"`
+	HPs            []string      `json:"hps"`
+	Arrivals       ArrivalConfig `json:"arrivals"`
+	NodeChaos      string        `json:"node_chaos,omitempty"`
+}
+
+// ClusterRecord is one monitoring period of the whole cluster: the
+// admission/placement bookkeeping of the period, the aggregate health
+// numbers, and every node's heartbeat (sorted by node ID; frozen and
+// lost nodes get synthesised heartbeats so the stream stays dense).
+type ClusterRecord struct {
+	Period int `json:"period"`
+
+	Arrivals int `json:"arrivals"`
+	Admitted int `json:"admitted"`
+	Rejected int `json:"rejected"`
+	Placed   int `json:"placed"`
+	Requeued int `json:"requeued"`
+	Dropped  int `json:"dropped"`
+	Done     int `json:"done"`
+
+	QueueLen int `json:"queue_len"`
+	Running  int `json:"running"`
+
+	Freezes int `json:"freezes,omitempty"`
+	Losses  int `json:"losses,omitempty"`
+
+	// SLOViolations counts live nodes whose HP missed its SLO this
+	// period; FleetEFU is Σ norm-IPC over every running process divided
+	// by total fleet capacity (lost and frozen capacity earns zero).
+	SLOViolations int     `json:"slo_violations"`
+	FleetEFU      float64 `json:"fleet_efu"`
+
+	Nodes []Heartbeat `json:"nodes"`
+}
+
+// ReadClusterTrace parses a cluster trace written by Cluster.Run.
+func ReadClusterTrace(r io.Reader) (TraceHeader, []ClusterRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var hdr TraceHeader
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return hdr, nil, err
+		}
+		return hdr, nil, fmt.Errorf("fleet: empty trace")
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("fleet: bad trace header: %w", err)
+	}
+	if hdr.Schema != TraceSchema {
+		return hdr, nil, fmt.Errorf("fleet: trace schema %q, want %q", hdr.Schema, TraceSchema)
+	}
+	var recs []ClusterRecord
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec ClusterRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return hdr, recs, fmt.Errorf("fleet: bad record %d: %w", len(recs), err)
+		}
+		recs = append(recs, rec)
+	}
+	return hdr, recs, sc.Err()
+}

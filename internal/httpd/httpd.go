@@ -1,0 +1,80 @@
+// Package httpd is the shared HTTP serving shim for the dicer command
+// line tools: an http.Server with sane header/idle timeouts (a bare
+// http.ListenAndServe has none, so one stalled client header read holds
+// a connection goroutine forever) and graceful drain on SIGINT/SIGTERM.
+package httpd
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+const (
+	// readHeaderTimeout bounds how long a client may take to send its
+	// request headers.
+	readHeaderTimeout = 5 * time.Second
+	// idleTimeout reclaims keep-alive connections.
+	idleTimeout = 120 * time.Second
+	// drainTimeout bounds graceful shutdown before in-flight requests
+	// are cut off.
+	drainTimeout = 5 * time.Second
+)
+
+// New returns a hardened http.Server for addr and handler.
+func New(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+}
+
+// ListenAndServe serves h on addr until the process receives SIGINT or
+// SIGTERM, then drains in-flight requests and returns nil. Any other
+// serve failure (e.g. the port is taken) is returned as-is.
+func ListenAndServe(addr string, h http.Handler) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	stop := make(chan struct{})
+	go func() {
+		<-sigs
+		close(stop)
+	}()
+	return ServeUntil(New(addr, h), ln, stop)
+}
+
+// ServeUntil serves on ln until stop closes, then shuts the server down
+// gracefully (bounded by drainTimeout). A clean shutdown returns nil.
+// Split from ListenAndServe so tests can drive the lifecycle without
+// sending signals.
+func ServeUntil(srv *http.Server, ln net.Listener, stop <-chan struct{}) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-stop:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package httpd
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestNewSetsTimeouts(t *testing.T) {
+	srv := New(":0", http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout not set")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout not set")
+	}
+}
+
+// TestServeUntilGracefulShutdown serves one request, closes the stop
+// channel and expects a clean nil return.
+func TestServeUntilGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "pong")
+	})
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- ServeUntil(New(ln.Addr().String(), mux), ln, stop) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Fatalf("body = %q", body)
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeUntil did not return after stop")
+	}
+}
+
+// TestServeUntilPropagatesServeError: a listener closed under the server
+// should surface as an error, not a clean exit.
+func TestServeUntilPropagatesServeError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	ln.Close()
+	if err := ServeUntil(New(ln.Addr().String(), http.NewServeMux()), ln, make(chan struct{})); err == nil {
+		t.Fatal("want error from closed listener")
+	}
+}

@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// FleetNode is one node's contribution to a fleet sample (a heartbeat
+// reduced to what the exporter publishes).
+type FleetNode struct {
+	Node        int
+	Frozen      bool
+	Lost        bool
+	BECount     int
+	HPNorm      float64
+	TotalGbps   float64
+	Saturated   bool
+	SLOViolated bool
+}
+
+// FleetSample is one cluster monitoring period as seen by the fleet
+// exporter. The fleet package converts its trace records into this
+// shape (metrics cannot import fleet — fleet already imports metrics).
+type FleetSample struct {
+	Period   int
+	Arrivals int
+	Admitted int
+	Rejected int
+	Placed   int
+	Requeued int
+	Dropped  int
+	Done     int
+
+	QueueLen int
+	Running  int
+	Freezes  int
+	Losses   int
+
+	SLOViolations int
+	FleetEFU      float64
+
+	Nodes []FleetNode
+}
+
+// FleetExporter aggregates cluster periods into Prometheus-text-format
+// metrics — the fleet analogue of Exporter, scraped on dicer-fleet
+// -serve's /metrics endpoint.
+//
+// Exported series (all prefixed dicer_fleet_):
+//
+//	dicer_fleet_periods_total               counter  cluster periods observed
+//	dicer_fleet_arrivals_total              counter  BE job arrivals
+//	dicer_fleet_admitted_total              counter  arrivals admitted to the queue
+//	dicer_fleet_rejected_total              counter  arrivals rejected (queue full)
+//	dicer_fleet_placements_total            counter  job placements (incl. re-placements)
+//	dicer_fleet_requeued_total              counter  orphans re-queued after node loss
+//	dicer_fleet_dropped_total               counter  jobs dropped after exhausting retries
+//	dicer_fleet_done_total                  counter  jobs completed
+//	dicer_fleet_node_freezes_total          counter  node freeze events
+//	dicer_fleet_node_losses_total           counter  node loss events
+//	dicer_fleet_slo_violations_total        counter  (node, period) HP SLO misses
+//	dicer_fleet_period                      gauge    last period index
+//	dicer_fleet_queue_len                   gauge    jobs waiting
+//	dicer_fleet_running                     gauge    jobs running
+//	dicer_fleet_efu                         gauge    last period's fleet EFU
+//	dicer_fleet_node_state{node}            gauge    0 live, 1 frozen, 2 lost
+//	dicer_fleet_node_be_count{node}         gauge    BE jobs on the node
+//	dicer_fleet_node_hp_norm{node}          gauge    HP normalised IPC
+//	dicer_fleet_node_total_bw_gbps{node}    gauge    node memory bandwidth
+//
+// A FleetExporter is safe for concurrent Observe and WriteTo.
+type FleetExporter struct {
+	mu sync.Mutex
+
+	periods    int
+	arrivals   int
+	admitted   int
+	rejected   int
+	placements int
+	requeued   int
+	dropped    int
+	done       int
+	freezes    int
+	losses     int
+	sloViol    int
+
+	last    FleetSample
+	haveRec bool
+}
+
+// NewFleetExporter creates an empty fleet exporter.
+func NewFleetExporter() *FleetExporter { return &FleetExporter{} }
+
+// Observe folds one cluster period into the exporter.
+func (e *FleetExporter) Observe(s FleetSample) {
+	e.mu.Lock()
+	e.periods++
+	e.arrivals += s.Arrivals
+	e.admitted += s.Admitted
+	e.rejected += s.Rejected
+	e.placements += s.Placed
+	e.requeued += s.Requeued
+	e.dropped += s.Dropped
+	e.done += s.Done
+	e.freezes += s.Freezes
+	e.losses += s.Losses
+	e.sloViol += s.SLOViolations
+	e.last = s
+	e.last.Nodes = append([]FleetNode(nil), s.Nodes...)
+	e.haveRec = true
+	e.mu.Unlock()
+}
+
+// Periods returns the number of cluster periods observed.
+func (e *FleetExporter) Periods() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.periods
+}
+
+// WriteTo renders the metrics in Prometheus text exposition format with
+// deterministic ordering.
+func (e *FleetExporter) WriteTo(w io.Writer) (int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cw := &countWriter{w: w}
+
+	writeMetric(cw, "dicer_fleet_periods_total", "counter",
+		"Cluster monitoring periods observed.", float64(e.periods))
+	writeMetric(cw, "dicer_fleet_arrivals_total", "counter",
+		"Best-effort job arrivals.", float64(e.arrivals))
+	writeMetric(cw, "dicer_fleet_admitted_total", "counter",
+		"Arrivals admitted to the queue.", float64(e.admitted))
+	writeMetric(cw, "dicer_fleet_rejected_total", "counter",
+		"Arrivals rejected by admission control.", float64(e.rejected))
+	writeMetric(cw, "dicer_fleet_placements_total", "counter",
+		"Job placements, including re-placements after node loss.", float64(e.placements))
+	writeMetric(cw, "dicer_fleet_requeued_total", "counter",
+		"Orphaned jobs re-queued after node loss.", float64(e.requeued))
+	writeMetric(cw, "dicer_fleet_dropped_total", "counter",
+		"Jobs dropped after exhausting placement attempts.", float64(e.dropped))
+	writeMetric(cw, "dicer_fleet_done_total", "counter",
+		"Jobs completed.", float64(e.done))
+	writeMetric(cw, "dicer_fleet_node_freezes_total", "counter",
+		"Node freeze events.", float64(e.freezes))
+	writeMetric(cw, "dicer_fleet_node_losses_total", "counter",
+		"Node loss events.", float64(e.losses))
+	writeMetric(cw, "dicer_fleet_slo_violations_total", "counter",
+		"Per-node, per-period HP SLO misses.", float64(e.sloViol))
+
+	if e.haveRec {
+		s := e.last
+		writeMetric(cw, "dicer_fleet_period", "gauge", "Last cluster period index.", float64(s.Period))
+		writeMetric(cw, "dicer_fleet_queue_len", "gauge", "Jobs waiting for placement.", float64(s.QueueLen))
+		writeMetric(cw, "dicer_fleet_running", "gauge", "Jobs running across the fleet.", float64(s.Running))
+		writeMetric(cw, "dicer_fleet_efu", "gauge", "Last period's fleet EFU.", s.FleetEFU)
+
+		nodes := append([]FleetNode(nil), s.Nodes...)
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a].Node < nodes[b].Node })
+		writeFleetNodeGauge(cw, "dicer_fleet_node_state", "Node health: 0 live, 1 frozen, 2 lost.",
+			nodes, func(n FleetNode) float64 {
+				switch {
+				case n.Lost:
+					return 2
+				case n.Frozen:
+					return 1
+				}
+				return 0
+			})
+		writeFleetNodeGauge(cw, "dicer_fleet_node_be_count", "BE jobs running on the node.",
+			nodes, func(n FleetNode) float64 { return float64(n.BECount) })
+		writeFleetNodeGauge(cw, "dicer_fleet_node_hp_norm", "Node HP normalised IPC.",
+			nodes, func(n FleetNode) float64 { return n.HPNorm })
+		writeFleetNodeGauge(cw, "dicer_fleet_node_total_bw_gbps", "Node memory bandwidth.",
+			nodes, func(n FleetNode) float64 { return n.TotalGbps })
+	}
+	return cw.n, cw.err
+}
+
+// writeFleetNodeGauge renders one per-node gauge family.
+func writeFleetNodeGauge(w io.Writer, name, help string, nodes []FleetNode, val func(FleetNode) float64) {
+	writeHeader(w, name, "gauge", help)
+	for _, n := range nodes {
+		fmt.Fprintf(w, "%s{node=\"%d\"} %s\n", name, n.Node, formatValue(val(n)))
+	}
+}

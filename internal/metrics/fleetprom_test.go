@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFleetExporter(t *testing.T) {
+	e := NewFleetExporter()
+	e.Observe(FleetSample{
+		Period: 0, Arrivals: 3, Admitted: 2, Rejected: 1, Placed: 2, Done: 0,
+		QueueLen: 0, Running: 2, SLOViolations: 1, FleetEFU: 0.4,
+		Nodes: []FleetNode{
+			{Node: 1, BECount: 1, HPNorm: 0.9, TotalGbps: 12.5},
+			{Node: 0, BECount: 1, HPNorm: 0.8, TotalGbps: 30, SLOViolated: true},
+		},
+	})
+	e.Observe(FleetSample{
+		Period: 1, Arrivals: 1, Admitted: 1, Done: 2, FleetEFU: 0.3, Losses: 1,
+		Nodes: []FleetNode{
+			{Node: 0, Lost: true},
+			{Node: 1, Frozen: true, BECount: 1},
+		},
+	})
+	if e.Periods() != 2 {
+		t.Fatalf("periods = %d, want 2", e.Periods())
+	}
+
+	var sb strings.Builder
+	if _, err := e.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"dicer_fleet_periods_total 2",
+		"dicer_fleet_arrivals_total 4",
+		"dicer_fleet_admitted_total 3",
+		"dicer_fleet_rejected_total 1",
+		"dicer_fleet_done_total 2",
+		"dicer_fleet_node_losses_total 1",
+		"dicer_fleet_slo_violations_total 1",
+		"dicer_fleet_efu 0.3",
+		`dicer_fleet_node_state{node="0"} 2`,
+		`dicer_fleet_node_state{node="1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+
+	// Node gauges must be sorted by node ID regardless of sample order.
+	if i0, i1 := strings.Index(out, `node_be_count{node="0"}`), strings.Index(out, `node_be_count{node="1"}`); i0 < 0 || i1 < 0 || i0 > i1 {
+		t.Errorf("node gauges missing or unsorted (%d, %d)", i0, i1)
+	}
+
+	// Two renders must be byte-identical (deterministic exposition).
+	var sb2 strings.Builder
+	if _, err := e.WriteTo(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("repeated WriteTo produced different bytes")
+	}
+}

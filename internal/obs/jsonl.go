@@ -7,22 +7,66 @@ import (
 	"io"
 )
 
-// JSONL writes a trace as JSON Lines: one Header line followed by one
-// line per Record. Output is deterministic for deterministic runs (struct
+// LineWriter writes JSON Lines: one value per line, buffered, first
+// error sticky. Output is deterministic for deterministic values (struct
 // fields marshal in declaration order, floats in Go's shortest exact
 // form), which is what makes golden-trace tests byte-for-byte stable.
+// Both the per-run trace sink (JSONL) and the fleet's cluster trace are
+// built on it.
+//
+// A LineWriter is not safe for concurrent use; give each run its own.
+type LineWriter struct {
+	w   *bufio.Writer
+	err error // first write error; subsequent calls are no-ops
+}
+
+// NewLineWriter wraps w. Call Flush after the run; lines are buffered.
+func NewLineWriter(w io.Writer) *LineWriter {
+	return &LineWriter{w: bufio.NewWriter(w)}
+}
+
+// WriteLine marshals v and appends it as one line.
+func (l *LineWriter) WriteLine(v any) {
+	if l.err != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		l.err = err
+		return
+	}
+	if _, err := l.w.Write(b); err != nil {
+		l.err = err
+		return
+	}
+	l.err = l.w.WriteByte('\n')
+}
+
+// Flush drains the buffer and returns the first error encountered by any
+// write so far.
+func (l *LineWriter) Flush() error {
+	if l.err != nil {
+		return l.err
+	}
+	return l.w.Flush()
+}
+
+// Err returns the first error encountered so far.
+func (l *LineWriter) Err() error { return l.err }
+
+// JSONL writes a trace as JSON Lines: one Header line followed by one
+// line per Record.
 //
 // JSONL is not safe for concurrent Emit calls; give each run its own
 // writer (the per-runner pattern the experiments layer uses).
 type JSONL struct {
-	w   *bufio.Writer
-	err error // first write error; subsequent calls are no-ops
+	lw *LineWriter
 }
 
 // NewJSONL wraps w. Call Flush (or Close on the owning file) after the
 // run; records are buffered.
 func NewJSONL(w io.Writer) *JSONL {
-	return &JSONL{w: bufio.NewWriter(w)}
+	return &JSONL{lw: NewLineWriter(w)}
 }
 
 // Start implements HeaderSink: the header becomes the first line.
@@ -30,37 +74,16 @@ func (j *JSONL) Start(h Header) error {
 	if h.Schema == "" {
 		h.Schema = Schema
 	}
-	j.writeLine(h)
-	return j.err
+	j.lw.WriteLine(h)
+	return j.lw.Err()
 }
 
 // Emit implements Sink.
-func (j *JSONL) Emit(r *Record) { j.writeLine(r) }
-
-func (j *JSONL) writeLine(v any) {
-	if j.err != nil {
-		return
-	}
-	b, err := json.Marshal(v)
-	if err != nil {
-		j.err = err
-		return
-	}
-	if _, err := j.w.Write(b); err != nil {
-		j.err = err
-		return
-	}
-	j.err = j.w.WriteByte('\n')
-}
+func (j *JSONL) Emit(r *Record) { j.lw.WriteLine(r) }
 
 // Flush drains the buffer and returns the first error encountered by any
 // write so far.
-func (j *JSONL) Flush() error {
-	if j.err != nil {
-		return j.err
-	}
-	return j.w.Flush()
-}
+func (j *JSONL) Flush() error { return j.lw.Flush() }
 
 var _ HeaderSink = (*JSONL)(nil)
 

@@ -117,6 +117,21 @@ func (s Static) Setup(sys resctrl.System) error { return SplitWays(sys, s.HPWays
 // Observe implements Policy.
 func (Static) Observe(resctrl.System, resctrl.Period) error { return nil }
 
+// ByName returns the stateless baseline policy with the given name ("UM"
+// or "CT"), for callers that configure policies by string (the fleet
+// layer, CLIs). Stateful policies (DICER, the §6 extensions) need
+// per-run construction and are not served here; ok is false for them and
+// for unknown names.
+func ByName(name string) (Policy, bool) {
+	switch name {
+	case "UM", "um":
+		return Unmanaged{}, true
+	case "CT", "ct":
+		return CacheTakeover{}, true
+	}
+	return nil, false
+}
+
 // Compile-time interface checks.
 var (
 	_ Policy = Unmanaged{}

@@ -37,6 +37,15 @@ func NewMeter(sys System) *Meter {
 	return &Meter{sys: sys, prev: sys.Counters()}
 }
 
+// Rebaseline re-reads the counters and makes them the new baseline
+// without producing a Period. Callers that change the monitored
+// population between periods (the fleet layer attaches and detaches BE
+// jobs at period boundaries) rebaseline so the next Sample never
+// subtracts an old process's cumulative counters from a fresh one's.
+func (m *Meter) Rebaseline() {
+	m.prev = m.sys.Counters()
+}
+
 // Sample reads the counters, returns the delta since the previous Sample
 // (or since construction), and advances the baseline.
 func (m *Meter) Sample() Period {

@@ -1,0 +1,58 @@
+package resctrl
+
+import (
+	"testing"
+
+	"dicer/internal/app"
+	"dicer/internal/machine"
+	"dicer/internal/sim"
+)
+
+// TestMeterRebaseline pins the attach/detach hygiene the fleet layer
+// relies on: after swapping the process on a core, a rebaselined meter
+// reports sane (non-negative) per-period readings, whereas the stale
+// baseline would subtract the old process's cumulative counters from the
+// new one's.
+func TestMeterRebaseline(t *testing.T) {
+	m := machine.Default()
+	r, err := sim.New(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Attach(0, 0, app.MustByName("omnetpp1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Attach(1, 1, app.MustByName("lbm1")); err != nil {
+		t.Fatal(err)
+	}
+	emu := NewEmu(r, false)
+	meter := NewMeter(emu)
+	for i := 0; i < 8; i++ {
+		r.Step(0.25)
+	}
+	p := meter.Sample()
+	if p.CoreIPC(1) <= 0 {
+		t.Fatalf("expected positive IPC on core 1, got %g", p.CoreIPC(1))
+	}
+
+	// Swap the job on core 1: counters restart from zero.
+	if err := r.Detach(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Attach(1, 1, app.MustByName("gcc_base1")); err != nil {
+		t.Fatal(err)
+	}
+	meter.Rebaseline()
+	for i := 0; i < 8; i++ {
+		r.Step(0.25)
+	}
+	p = meter.Sample()
+	if ipc := p.CoreIPC(1); ipc <= 0 {
+		t.Fatalf("rebaselined meter reported non-positive IPC %g for fresh process", ipc)
+	}
+	for _, g := range p.Groups {
+		if g.BandwidthGbps < 0 {
+			t.Fatalf("rebaselined meter reported negative bandwidth %g for clos %d", g.BandwidthGbps, g.Clos)
+		}
+	}
+}

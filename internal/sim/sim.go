@@ -220,6 +220,28 @@ func (r *Runner) Attach(core, clos int, prof app.Profile) error {
 	return nil
 }
 
+// Detach removes the process running on core, freeing the core for a
+// later Attach. The process's cumulative counters are discarded with it
+// (read them via Proc before detaching); per-CLOS traffic counters keep
+// the bytes it moved. Detaching is the "job completed / job migrated"
+// actuator of the fleet layer: a node's BE population changes at
+// monitoring-period boundaries as placements and completions land.
+func (r *Runner) Detach(core int) error {
+	if core < 0 || core >= len(r.coreIndex) || r.coreIndex[core] < 0 {
+		return fmt.Errorf("sim: no process on core %d", core)
+	}
+	idx := r.coreIndex[core]
+	r.procs = append(r.procs[:idx], r.procs[idx+1:]...)
+	for c := range r.coreIndex {
+		r.coreIndex[c] = -1
+	}
+	for j, s := range r.procs {
+		r.coreIndex[s.core] = j
+	}
+	r.invalidate()
+	return nil
+}
+
 // SetMask installs a capacity bit-mask for clos (CAT semantics: non-zero,
 // contiguous, within the implemented ways).
 func (r *Runner) SetMask(clos int, mask uint64) error {
