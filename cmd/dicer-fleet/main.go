@@ -40,6 +40,8 @@ type fleetParams struct {
 
 	chaosName string
 	chaosSeed int64
+
+	pprof bool
 }
 
 // config builds the fleet configuration the flags describe.
@@ -103,11 +105,12 @@ func main() {
 	flag.Float64Var(&p.stream, "stream-weight", 0.5, "arrival weight of streaming apps (rest split evenly; 0 = catalog default mix)")
 	flag.StringVar(&p.chaosName, "node-chaos", "none", "node fault schedule: none | "+strings.Join(nodeChaosNames(), " | "))
 	flag.Int64Var(&p.chaosSeed, "chaos-seed", 1, "seed for the node fault stream")
+	flag.BoolVar(&p.pprof, "pprof", false, "with -serve: also expose /debug/pprof/ profiling endpoints")
 	var (
 		traceOut    = flag.String("trace-out", "", "write the JSONL cluster trace to this file")
 		summaryJSON = flag.String("summary-json", "", "write the run summary as JSON to this file")
 		every       = flag.Int("every", 20, "print a status row every N periods (0 = none)")
-		serveAddr   = flag.String("serve", "", "loop the cluster and serve /metrics, /nodes, /queue and /healthz on this address (e.g. :9091)")
+		serveAddr   = flag.String("serve", "", "loop the cluster and serve /metrics, /nodes, /queue, /alerts, /events and /healthz on this address (e.g. :9091)")
 	)
 	flag.Parse()
 

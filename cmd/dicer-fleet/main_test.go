@@ -59,6 +59,41 @@ func TestGoldenSummary(t *testing.T) {
 	}
 }
 
+// TestGoldenClusterTrace pins the batch-mode cluster trace byte-for-byte
+// and commits it (testdata/cluster.jsonl.golden) — it is the fleet input
+// of the offline diagnostic engine's golden tests and of the CI
+// analyze-smoke job, so drift means either a behaviour change or a trace
+// schema change, both of which must be reviewed (then refreshed with
+// -update).
+func TestGoldenClusterTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cluster.jsonl")
+	if err := runBatch(goldenParams(), path, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "cluster.jsonl.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("cluster trace drifted from golden (%d vs %d bytes); re-run with -update if intended",
+			len(got), len(want))
+	}
+}
+
 // TestBatchTraceDeterministic runs the batch path twice and compares the
 // cluster traces byte-for-byte.
 func TestBatchTraceDeterministic(t *testing.T) {
@@ -109,9 +144,9 @@ func TestServeEndpoints(t *testing.T) {
 	p := goldenParams()
 	p.periods = 10
 	p.chaosName = "none"
-	st := newFleetServeState()
+	st := newFleetServeState(p)
 	go st.loop(p)
-	srv := httptest.NewServer(st.mux())
+	srv := httptest.NewServer(st.mux(false))
 	defer srv.Close()
 
 	get := func(path string) (int, string) {
@@ -144,16 +179,32 @@ func TestServeEndpoints(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 
-	if code, body := get("/healthz"); code != 200 || !strings.HasPrefix(body, "ok") {
+	// /healthz is 200 while clean, 503 once the burn-rate alert fires —
+	// the loop keeps running laps, so both are legitimate snapshots.
+	code, body := get("/healthz")
+	switch {
+	case code == 200 && strings.HasPrefix(body, "ok"):
+	case code == 503 && strings.HasPrefix(body, "degraded"):
+	default:
 		t.Fatalf("/healthz = %d %q", code, body)
 	}
-	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "dicer_fleet_periods_total") {
+	code, body = get("/metrics")
+	if code != 200 || !strings.Contains(body, "dicer_fleet_periods_total") {
 		t.Fatalf("/metrics = %d, missing fleet series", code)
+	}
+	for _, want := range []string{"dicer_fleet_hp_slowdown_bucket", "dicer_fleet_efu_hist_bucket", "dicer_fleet_slo_alert_firing"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 	if code, body := get("/nodes"); code != 200 || !strings.Contains(body, `"node"`) {
 		t.Fatalf("/nodes = %d %q", code, body)
 	}
 	if code, _ := get("/queue"); code != 200 {
 		t.Fatalf("/queue = %d", code)
+	}
+	code, body = get("/alerts")
+	if code != 200 || !strings.Contains(body, `"aggregate"`) || !strings.Contains(body, `"nodes"`) {
+		t.Fatalf("/alerts = %d %q", code, body)
 	}
 }

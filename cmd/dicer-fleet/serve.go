@@ -6,16 +6,22 @@ import (
 	"net/http"
 	"sync"
 
+	"dicer/internal/diag"
 	"dicer/internal/fleet"
 	"dicer/internal/httpd"
+	"dicer/internal/machine"
 	"dicer/internal/metrics"
 )
 
 // fleetServeState is shared between the background cluster loop and the
-// HTTP handlers: a Prometheus fleet exporter for /metrics plus the most
-// recent period's record and queue for /nodes and /queue.
+// HTTP handlers: a Prometheus fleet exporter for /metrics, the fleet
+// diagnostic monitor (per-node + aggregate burn-rate alerters, slowdown
+// and EFU histograms) behind /alerts and /events, plus the most recent
+// period's record and queue for /nodes and /queue.
 type fleetServeState struct {
 	exporter *metrics.FleetExporter
+	monitor  *diag.FleetMonitor
+	events   *httpd.EventStream
 
 	mu      sync.Mutex
 	lastRec fleet.ClusterRecord
@@ -25,13 +31,31 @@ type fleetServeState struct {
 	lastErr error
 }
 
-func newFleetServeState() *fleetServeState {
-	return &fleetServeState{exporter: metrics.NewFleetExporter()}
+func newFleetServeState(p fleetParams) *fleetServeState {
+	st := &fleetServeState{
+		exporter: metrics.NewFleetExporter(),
+		events:   httpd.NewEventStream(),
+	}
+	st.monitor = diag.NewFleetMonitor(diag.FleetMonitorConfig{
+		SLO:      p.slo,
+		LinkGbps: machine.Default().Link.CapacityGBps,
+		OnAlert: func(node int, ev diag.AlertEvent) {
+			b, err := json.Marshal(struct {
+				Node int `json:"node"` // -1 = fleet aggregate
+				diag.AlertEvent
+			}{node, ev})
+			if err == nil {
+				st.events.Publish("alert", string(b))
+			}
+		},
+	})
+	return st
 }
 
 // observe is the cluster's OnPeriod callback.
 func (st *fleetServeState) observe(rec *fleet.ClusterRecord, queue []fleet.QueueEntry) {
 	st.exporter.Observe(rec.Sample())
+	st.monitor.ObserveRecord(rec)
 	st.mu.Lock()
 	st.lastRec = *rec
 	st.lastRec.Nodes = append([]fleet.Heartbeat(nil), rec.Nodes...)
@@ -48,7 +72,8 @@ func (st *fleetServeState) setErr(err error) {
 
 // loop runs cluster laps until one fails; the failure parks in /healthz.
 // Each lap rebuilds the cluster, so node and controller state start
-// fresh while the exporter's counters accumulate across laps.
+// fresh while the exporter's counters and the monitor's alert history
+// accumulate across laps.
 func (st *fleetServeState) loop(p fleetParams) {
 	for {
 		cfg, err := p.config()
@@ -72,15 +97,17 @@ func (st *fleetServeState) loop(p fleetParams) {
 	}
 }
 
-// mux wires the four endpoints. Split from runServe so tests drive it
-// through httptest without binding a socket.
-func (st *fleetServeState) mux() *http.ServeMux {
+// mux wires the endpoints. Split from runServe so tests drive it through
+// httptest without binding a socket.
+func (st *fleetServeState) mux(withPprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if _, err := st.exporter.WriteTo(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
 		}
+		st.monitor.WriteProm(w)
 	})
 	mux.HandleFunc("/nodes", func(w http.ResponseWriter, r *http.Request) {
 		st.mu.Lock()
@@ -105,6 +132,10 @@ func (st *fleetServeState) mux() *http.ServeMux {
 		}
 		writeJSON(w, q)
 	})
+	mux.HandleFunc("/alerts", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, st.monitor.Snapshot())
+	})
+	mux.Handle("/events", st.events)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		st.mu.Lock()
 		err, laps := st.lastErr, st.laps
@@ -113,8 +144,15 @@ func (st *fleetServeState) mux() *http.ServeMux {
 			http.Error(w, "cluster loop stopped: "+err.Error(), http.StatusInternalServerError)
 			return
 		}
+		if degraded, why := st.monitor.Degraded(); degraded {
+			http.Error(w, "degraded: "+why, http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintf(w, "ok laps=%d periods=%d\n", laps, st.exporter.Periods())
 	})
+	if withPprof {
+		httpd.AddPprof(mux)
+	}
 	return mux
 }
 
@@ -131,9 +169,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 // observability endpoints with header/idle timeouts, draining gracefully
 // on SIGINT/SIGTERM.
 func runServe(addr string, p fleetParams) error {
-	st := newFleetServeState()
+	st := newFleetServeState(p)
 	go st.loop(p)
-	fmt.Printf("serving /metrics /nodes /queue /healthz on %s (%d nodes, policy %s, scheduler %s, %d periods per lap)\n",
+	fmt.Printf("serving /metrics /nodes /queue /alerts /events /healthz on %s (%d nodes, policy %s, scheduler %s, %d periods per lap)\n",
 		addr, p.nodes, p.policy, p.scheduler, p.periods)
-	return httpd.ListenAndServe(addr, st.mux())
+	return httpd.ListenAndServe(addr, st.mux(p.pprof))
 }

@@ -37,7 +37,9 @@ func main() {
 		chaosS     = flag.Int64("chaos-seed", 1, "seed for the chaos fault stream (replays bit-identically)")
 		guard      = flag.Bool("guard", false, "machine-check controller invariants after every period")
 		traceOut   = flag.String("trace-out", "", "write a replayable JSONL trace of the run to this file")
-		serveAddr  = flag.String("serve", "", "loop the scenario and serve /metrics, /trace and /healthz on this address (e.g. :9090)")
+		serveAddr  = flag.String("serve", "", "loop the scenario and serve /metrics, /trace, /alerts, /events and /healthz on this address (e.g. :9090)")
+		slo        = flag.Float64("slo", 0.9, "HP SLO as a fraction of alone performance (drives the burn-rate alerter and the trace header)")
+		pprofOn    = flag.Bool("pprof", false, "with -serve: also expose /debug/pprof/ profiling endpoints")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
@@ -46,6 +48,7 @@ func main() {
 		err := runServe(*serveAddr, serveParams{
 			hp: *hp, be: *be, n: *n, periods: *periods, policy: *polName,
 			chaosName: *chaosN, chaosSeed: *chaosS, guard: *guard,
+			slo: *slo, pprof: *pprofOn,
 		})
 		if err != nil {
 			fatal(err)
@@ -81,6 +84,9 @@ func main() {
 		fatal(err)
 	}
 	sc.WithMBA = withMBA
+	if *slo > 0 {
+		sc.SLO = *slo
+	}
 	var traceFile *os.File
 	var traceSink *dicer.TraceJSONL
 	if *traceOut != "" {

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
 
 	"dicer"
+	"dicer/internal/diag"
 	"dicer/internal/httpd"
 )
 
@@ -17,16 +19,21 @@ type serveParams struct {
 	chaosName  string
 	chaosSeed  int64
 	guard      bool
+	slo        float64
+	pprof      bool
 }
 
 // serveState is shared between the background scenario loop and the HTTP
-// handlers: a Prometheus exporter for /metrics, and the most recent
-// *completed* lap's trace for /trace. Serving whole laps (rather than a
-// sliding window of recent periods) keeps the /trace output replayable —
-// dicer-trace replay re-drives the controller from its Setup state, so
-// the trace must start at period 0.
+// handlers: a Prometheus exporter for /metrics, the diagnostic monitor
+// (slowdown/link histograms + SLO burn-rate alerter) behind /alerts and
+// /events, and the most recent *completed* lap's trace for /trace.
+// Serving whole laps (rather than a sliding window of recent periods)
+// keeps the /trace output replayable — dicer-trace replay re-drives the
+// controller from its Setup state, so the trace must start at period 0.
 type serveState struct {
 	exporter *dicer.PromExporter
+	monitor  *diag.Monitor
+	events   *httpd.EventStream
 
 	mu      sync.Mutex
 	cur     *dicer.TraceRing // lap in progress, rotated on Start
@@ -34,10 +41,23 @@ type serveState struct {
 	last    []dicer.TraceRecord // latest completed lap
 	haveRun bool
 	lastErr error
+	timed   *diag.TimedPolicy // current lap's policy wrapper (latency histogram)
 }
 
-func newServeState() *serveState {
-	return &serveState{exporter: dicer.NewPromExporter()}
+func newServeState(p serveParams) *serveState {
+	st := &serveState{
+		exporter: dicer.NewPromExporter(),
+		events:   httpd.NewEventStream(),
+	}
+	st.monitor = diag.NewMonitor(diag.MonitorConfig{
+		SLO: p.slo,
+		OnAlert: func(ev diag.AlertEvent) {
+			if b, err := json.Marshal(ev); err == nil {
+				st.events.Publish("alert", string(b))
+			}
+		},
+	})
+	return st
 }
 
 // Emit and Start implement dicer.TraceSink: Start captures the header
@@ -79,19 +99,27 @@ func (st *serveState) setErr(err error) {
 
 // runOnce executes one lap of the scenario with the serve sinks attached.
 // The policy is rebuilt every lap so each run starts from a fresh
-// controller state.
+// controller state; the monitor persists across laps so alert state and
+// histograms keep their history.
 func (st *serveState) runOnce(p serveParams) error {
 	pol, _, withMBA, err := buildPolicy(p.policy, p.hp)
 	if err != nil {
 		return err
 	}
+	timed := diag.NewTimedPolicy(pol)
+	st.mu.Lock()
+	st.timed = timed
+	st.mu.Unlock()
 	sc, err := buildScenario(p.hp, p.be, p.n, p.periods, p.guard, p.chaosName, p.chaosSeed)
 	if err != nil {
 		return err
 	}
 	sc.WithMBA = withMBA
-	sc.Trace = dicer.TraceMulti{st.exporter, st}
-	if _, err := sc.Run(pol); err != nil {
+	if p.slo > 0 {
+		sc.SLO = p.slo
+	}
+	sc.Trace = dicer.TraceMulti{st.exporter, st, st.monitor}
+	if _, err := sc.Run(timed); err != nil {
 		return err
 	}
 	st.finishRun()
@@ -109,14 +137,22 @@ func (st *serveState) loop(p serveParams) {
 	}
 }
 
-// mux wires the three endpoints. Split from runServe so tests drive it
-// through httptest without binding a socket.
-func (st *serveState) mux() *http.ServeMux {
+// mux wires the endpoints. Split from runServe so tests drive it through
+// httptest without binding a socket.
+func (st *serveState) mux(withPprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if _, err := st.exporter.WriteTo(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		st.monitor.WriteProm(w)
+		st.mu.Lock()
+		timed := st.timed
+		st.mu.Unlock()
+		if timed != nil {
+			timed.WriteProm(w)
 		}
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
@@ -140,6 +176,15 @@ func (st *serveState) mux() *http.ServeMux {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/alerts", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st.monitor.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/events", st.events)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		st.mu.Lock()
 		err := st.lastErr
@@ -148,8 +193,15 @@ func (st *serveState) mux() *http.ServeMux {
 			http.Error(w, "scenario loop stopped: "+err.Error(), http.StatusInternalServerError)
 			return
 		}
+		if st.monitor.Firing() {
+			http.Error(w, "degraded: slo burn-rate alert firing", http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintf(w, "ok records=%d\n", st.exporter.Records())
 	})
+	if withPprof {
+		httpd.AddPprof(mux)
+	}
 	return mux
 }
 
@@ -157,9 +209,9 @@ func (st *serveState) mux() *http.ServeMux {
 // observability endpoints with header/idle timeouts, draining gracefully
 // on SIGINT/SIGTERM.
 func runServe(addr string, p serveParams) error {
-	st := newServeState()
+	st := newServeState(p)
 	go st.loop(p)
-	fmt.Printf("serving /metrics /trace /healthz on %s (%s + %dx %s, policy %s, %d periods per lap)\n",
+	fmt.Printf("serving /metrics /trace /alerts /events /healthz on %s (%s + %dx %s, policy %s, %d periods per lap)\n",
 		addr, p.hp, p.n, p.be, p.policy, p.periods)
-	return httpd.ListenAndServe(addr, st.mux())
+	return httpd.ListenAndServe(addr, st.mux(p.pprof))
 }

@@ -8,9 +8,15 @@
 //	dicer-trace record -hp milc1 -be gcc_base1 -n 9 -periods 60 -o trace.jsonl
 //	dicer-trace record -hp omnetpp1 -be gcc_base1 -chaos delayed-actuation -chaos-seed 7 -o chaos.jsonl
 //	dicer-trace replay trace.jsonl
+//	dicer-trace analyze trace.jsonl
+//	dicer-trace analyze -json cluster.jsonl
+//	dicer-trace alerts trace.jsonl
 //
 // replay exits non-zero on the first divergence between the trace and
 // the re-driven controller (or on a structurally unreplayable trace).
+// analyze/summary/alerts run the offline diagnostic engine — the same
+// histogram and burn-rate alerter code behind the live /metrics and
+// /alerts endpoints — over a recorded single-node or fleet trace.
 package main
 
 import (
@@ -35,6 +41,12 @@ func main() {
 		err = runRecord(os.Args[2:], os.Stdout)
 	case "replay":
 		err = runReplay(os.Args[2:], os.Stdout)
+	case "analyze":
+		err = runAnalyze(os.Args[2:], os.Stdout)
+	case "summary":
+		err = runSummary(os.Args[2:], os.Stdout)
+	case "alerts":
+		err = runAlerts(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -51,7 +63,10 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   dicer-trace record -hp <app> -be <app> [-n N] [-periods N] [-policy P] [-chaos S -chaos-seed N] -o <file>
-  dicer-trace replay <file>`)
+  dicer-trace replay <file>
+  dicer-trace analyze [-slo F] [-alone-ipc F] [-json] <file>   full diagnostic report (single-node or fleet trace)
+  dicer-trace summary [-json] <file>                           percentile table only
+  dicer-trace alerts  [-json] <file>                           burn-rate alert timeline only`)
 }
 
 // runRecord runs one scenario with a JSONL trace sink attached.

@@ -36,6 +36,7 @@ import (
 	"dicer/internal/cache"
 	"dicer/internal/chaos"
 	"dicer/internal/core"
+	"dicer/internal/diag"
 	"dicer/internal/experiments"
 	"dicer/internal/fleet"
 	"dicer/internal/invariant"
@@ -159,12 +160,44 @@ type (
 	FleetExporter = metrics.FleetExporter
 	// NodeChaosSchedule is a deterministic node freeze/loss schedule.
 	NodeChaosSchedule = chaos.NodeSchedule
+	// DiagHistogram is a zero-alloc streaming percentile histogram.
+	DiagHistogram = diag.Histogram
+	// DiagAlerter evaluates multi-window SLO burn-rate rules.
+	DiagAlerter = diag.Alerter
+	// DiagAlertConfig parameterises the burn-rate alerter.
+	DiagAlertConfig = diag.AlertConfig
+	// DiagMonitor is the single-node live diagnostic pipeline (an
+	// obs.Sink: slowdown/link histograms + burn-rate alerter).
+	DiagMonitor = diag.Monitor
+	// DiagFleetMonitor is the cluster diagnostic pipeline.
+	DiagFleetMonitor = diag.FleetMonitor
+	// DiagReport is one run's diagnostic digest (percentiles, burn-rate
+	// timeline, decision causes, per-node outliers).
+	DiagReport = diag.Report
+	// DiagAnalyzeOptions tunes offline trace analysis.
+	DiagAnalyzeOptions = diag.AnalyzeOptions
 )
 
 // ErrChaosInjected marks errors caused by an injected fault; harnesses
 // use errors.Is with it to tolerate chaos-induced actuation failures
 // while keeping real errors fatal.
 var ErrChaosInjected = chaos.ErrInjected
+
+// AnalyzeTrace streams a recorded JSONL trace (single-node or fleet,
+// schema-sniffed) through the live diagnostic pipeline offline and
+// returns the run's report — byte-identical to what the live endpoints
+// computed for the same records.
+func AnalyzeTrace(r io.Reader, opts DiagAnalyzeOptions) (*DiagReport, error) {
+	return diag.Analyze(r, opts)
+}
+
+// NewDiagMonitor builds a live diagnostic monitor; wire it as a trace
+// sink next to a PromExporter.
+func NewDiagMonitor(cfg diag.MonitorConfig) *DiagMonitor { return diag.NewMonitor(cfg) }
+
+// DefaultDiagAlertConfig returns the stock burn-rate rule (10% budget,
+// 5-period fast window at 2x, 60-period slow window at 1x).
+func DefaultDiagAlertConfig() DiagAlertConfig { return diag.DefaultAlertConfig() }
 
 // DefaultMachine returns the paper's platform: 10 cores at 2.2 GHz, 25 MB
 // 20-way LLC, 68.3 Gbps memory link.

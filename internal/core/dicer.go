@@ -146,12 +146,45 @@ const (
 	EventSaturated   EventKind = "saturated"    // bandwidth threshold crossed
 )
 
+// Cause maps a decision to the provenance taxonomy: the compact
+// operator-facing answer to "why did the mask change this period".
+// Decisions that adjust the partition name their mechanism
+// (saturation-detected, sampling, shrink-step, phase-reset,
+// perf-reset); decisions that keep or confirm it name the evidence
+// (steady, validated, rollback). The observability recorder annotates
+// every trace record with the period's final cause — overridden by
+// guard-veto when the invariant guard intervened and chaos-masked when
+// an injected fault swallowed the actuation — so every mask change in
+// a trace is explainable without re-deriving the state machine.
+func (k EventKind) Cause() string {
+	switch k {
+	case EventSaturated:
+		return "saturation-detected"
+	case EventSample, EventSampleDone:
+		return "sampling"
+	case EventShrink:
+		return "shrink-step"
+	case EventHold:
+		return "steady"
+	case EventPhaseChange:
+		return "phase-reset"
+	case EventReset:
+		return "perf-reset"
+	case EventRollback:
+		return "rollback"
+	case EventValidated:
+		return "validated"
+	}
+	return string(k)
+}
+
 // Event records one controller decision; examples and tests subscribe via
 // Config-free Trace to watch DICER think.
 type Event struct {
 	Period  int
 	State   string
 	Kind    EventKind
+	Cause   string // provenance tag, Kind.Cause()
 	HPWays  int
 	HPIPC   float64
 	TotalBW float64
@@ -480,6 +513,7 @@ func (c *Controller) emit(kind EventKind, hpIPC, totalBW float64) {
 		Period:  c.period,
 		State:   c.st.String(),
 		Kind:    kind,
+		Cause:   kind.Cause(),
 		HPWays:  c.curHP,
 		HPIPC:   hpIPC,
 		TotalBW: totalBW,

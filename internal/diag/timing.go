@@ -1,0 +1,57 @@
+package diag
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"dicer/internal/core"
+	"dicer/internal/policy"
+	"dicer/internal/resctrl"
+)
+
+// TimedPolicy wraps a co-location policy and times every Observe call
+// into a latency histogram — the "decision latency" series of the live
+// /metrics endpoints (dicer_observe_latency_seconds). Wall-clock is
+// inherently nondeterministic, so this histogram is live-only and never
+// part of the deterministic analyze Report (the offline proxy is the
+// mask-change interval).
+//
+// Name/Setup delegate to the wrapped policy, and Controller() exposes a
+// wrapped DICER controller, so core.ControllerOf — and with it trace
+// headers and replay — see through the wrapper.
+type TimedPolicy struct {
+	policy.Policy
+
+	mu   sync.Mutex // serialises Observe against /metrics scrapes
+	hist *Histogram
+}
+
+// NewTimedPolicy wraps p. The latency histogram spans 100ns..1s.
+func NewTimedPolicy(p policy.Policy) *TimedPolicy {
+	return &TimedPolicy{Policy: p, hist: NewHistogram(1e-7, 1, 10)}
+}
+
+// Observe implements policy.Policy, timing the inner Observe.
+func (t *TimedPolicy) Observe(sys resctrl.System, p resctrl.Period) error {
+	start := time.Now()
+	err := t.Policy.Observe(sys, p)
+	d := time.Since(start).Seconds()
+	t.mu.Lock()
+	t.hist.Observe(d)
+	t.mu.Unlock()
+	return err
+}
+
+// Controller unwraps to the DICER controller when the inner policy is
+// (or wraps) one; nil otherwise.
+func (t *TimedPolicy) Controller() *core.Controller { return core.ControllerOf(t.Policy) }
+
+// WriteProm renders the latency histogram.
+func (t *TimedPolicy) WriteProm(w io.Writer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hist.WriteProm(w, "dicer_observe_latency_seconds", "Wall-clock latency of the policy's Observe call.")
+}
+
+var _ policy.Policy = (*TimedPolicy)(nil)

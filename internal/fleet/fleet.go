@@ -284,6 +284,7 @@ func (c *Cluster) header() TraceHeader {
 		StepsPerPeriod: c.cfg.StepsPerPeriod,
 		HorizonPeriods: c.cfg.HorizonPeriods,
 		SLO:            c.cfg.SLO,
+		LinkGbps:       c.cfg.Machine.Link.CapacityGBps,
 		QueueCap:       c.cfg.QueueCap,
 		HPs:            c.cfg.HPs,
 		Arrivals:       arr,

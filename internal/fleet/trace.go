@@ -27,7 +27,10 @@ type TraceHeader struct {
 	StepsPerPeriod int           `json:"steps_per_period"`
 	HorizonPeriods int           `json:"horizon_periods"`
 	SLO            float64       `json:"slo"`
-	QueueCap       int           `json:"queue_cap"`
+	// LinkGbps is each node's memory-link capacity, for link
+	// utilisation diagnostics over the heartbeats' bandwidth readings.
+	LinkGbps float64 `json:"link_gbps,omitempty"`
+	QueueCap int     `json:"queue_cap"`
 	HPs            []string      `json:"hps"`
 	Arrivals       ArrivalConfig `json:"arrivals"`
 	NodeChaos      string        `json:"node_chaos,omitempty"`

@@ -1,0 +1,20 @@
+package httpd
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// AddPprof mounts the standard net/http/pprof handlers on mux under
+// /debug/pprof/. The serve CLIs use their own ServeMux (never
+// http.DefaultServeMux), so the blank-import side effect of net/http/pprof
+// does not reach them; this explicit registration is the only way in, and
+// the CLIs gate it behind a -pprof flag so profiling endpoints are
+// opt-in.
+func AddPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePromHistogram renders one Prometheus histogram: cumulative
+// le-labelled buckets (uppers[i] is bucket i's inclusive upper bound,
+// cum[i] the cumulative count up to it), the running sum and the total
+// count. The final +Inf bucket is emitted from the last cumulative
+// entry, per the exposition format's requirement. The diagnostic layer
+// (internal/diag) feeds its streaming histograms through here so every
+// CLI exports them the same way.
+func WritePromHistogram(w io.Writer, name, help string, uppers []float64, cum []uint64, sum float64, count uint64) {
+	writeHeader(w, name, "histogram", help)
+	for i := range uppers {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatLe(uppers[i]), cum[i])
+	}
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatValue(sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, count)
+}
+
+// WritePromGauge renders a single gauge sample.
+func WritePromGauge(w io.Writer, name, help string, v float64) {
+	writeMetric(w, name, "gauge", help, v)
+}
+
+// WritePromQuantiles renders precomputed quantile gauges under one
+// metric name with a quantile label, sorted by the caller.
+func WritePromQuantiles(w io.Writer, name, help string, qs, vals []float64) {
+	writeHeader(w, name, "gauge", help)
+	for i := range qs {
+		fmt.Fprintf(w, "%s{quantile=%q} %s\n", name, strconv.FormatFloat(qs[i], 'g', -1, 64), formatValue(vals[i]))
+	}
+}
+
+// formatLe renders a bucket bound the way Prometheus clients do, with
+// +Inf spelled out.
+func formatLe(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -60,6 +60,16 @@ type Header struct {
 	// "none" means fault-free); ChaosSeed seeds its fault stream.
 	Chaos     string `json:"chaos,omitempty"`
 	ChaosSeed int64  `json:"chaos_seed,omitempty"`
+	// SLO is the HP's target fraction of alone performance (the
+	// slowdown target is its reciprocal); HPAloneIPC the HP's full-LLC
+	// alone-run IPC it is measured against. Both are optional — the
+	// diagnostic layer (internal/diag) falls back to the trace's peak
+	// HP IPC as the reference when they are absent.
+	SLO        float64 `json:"slo,omitempty"`
+	HPAloneIPC float64 `json:"hp_alone_ipc,omitempty"`
+	// LinkGbps is the machine's memory-link capacity, for link
+	// utilisation diagnostics.
+	LinkGbps float64 `json:"link_gbps,omitempty"`
 	// Controller is the DICER configuration, when the traced policy is
 	// (or wraps) a DICER controller; nil otherwise. Replay requires it.
 	Controller *core.Config `json:"controller,omitempty"`
@@ -106,9 +116,16 @@ type Record struct {
 	// actuation faults the two can disagree).
 	State     string   `json:"state,omitempty"`
 	Decisions []string `json:"decisions,omitempty"`
-	HPWays    int      `json:"hp_ways"`
-	HPMask    uint64   `json:"hp_mask"`
-	BEMask    uint64   `json:"be_mask"`
+	// Cause is the period's decision provenance: the final decision's
+	// cause tag (core.EventKind.Cause — saturation-detected, sampling,
+	// shrink-step, steady, phase-reset, perf-reset, rollback,
+	// validated), overridden by "guard-veto" when the invariant guard
+	// intervened and "chaos-masked" when an injected fault swallowed
+	// the actuation. Empty for policies without a controller.
+	Cause  string `json:"cause,omitempty"`
+	HPWays int    `json:"hp_ways"`
+	HPMask uint64 `json:"hp_mask"`
+	BEMask uint64 `json:"be_mask"`
 
 	// Faults counts the chaos faults injected during this period (the
 	// delta of the chaos system's cumulative stats). Zero without a

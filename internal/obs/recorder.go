@@ -74,12 +74,15 @@ func (r *Recorder) Start(h Header) error {
 	return nil
 }
 
-// onEvent folds one controller decision into the period's record.
+// onEvent folds one controller decision into the period's record. The
+// last decision's cause tag becomes the period's provenance (classify
+// may override it with guard-veto / chaos-masked).
 func (r *Recorder) onEvent(e core.Event) {
 	if n := len(r.rec.Decisions); n < maxDecisions {
 		r.dec[n] = string(e.Kind)
 		r.rec.Decisions = r.dec[:n+1]
 	}
+	r.rec.Cause = e.Cause
 }
 
 // EndPeriod assembles and emits the record for one monitoring period.
@@ -135,17 +138,21 @@ func (r *Recorder) EndPeriod(period int, p resctrl.Period, sys resctrl.System, o
 
 	r.sink.Emit(rec)
 	rec.Decisions = r.dec[:0]
+	rec.Cause = ""
 }
 
-// classify sorts an Observe error into the record's annotation fields.
+// classify sorts an Observe error into the record's annotation fields
+// and overrides the decision cause with the substrate-level provenance.
 // Kept off the happy path so a clean period stays allocation-free.
 func (r *Recorder) classify(err error) {
 	if errors.Is(err, chaos.ErrInjected) {
 		r.rec.Tolerated = true
+		r.rec.Cause = "chaos-masked"
 	}
 	var ie *invariant.Error
 	if errors.As(err, &ie) {
 		r.rec.Guard = ie.Error()
+		r.rec.Cause = "guard-veto"
 	} else if !r.rec.Tolerated {
 		r.rec.Err = err.Error()
 	}

@@ -34,6 +34,12 @@ type Scenario struct {
 	// HorizonPeriods is the number of monitoring periods to run
 	// (default 120).
 	HorizonPeriods int
+	// SLO is the HP's target fraction of alone performance (default
+	// 0.9). It parameterises the SLOAchieved/SUCI views of the result
+	// and is recorded in the trace header so the diagnostic layer
+	// (dicer-trace analyze, the /alerts burn-rate alerter) evaluates
+	// the same slowdown target live and offline.
+	SLO float64
 	// OnPeriod, when non-nil, receives every monitoring-period reading —
 	// useful for live dashboards and the examples.
 	OnPeriod func(period int, p Period)
@@ -150,6 +156,9 @@ func (s *Scenario) defaults() {
 	if s.HorizonPeriods == 0 {
 		s.HorizonPeriods = 120
 	}
+	if s.SLO == 0 {
+		s.SLO = 0.9
+	}
 }
 
 // Run executes the scenario under pol and returns the summary. Alone runs
@@ -208,12 +217,24 @@ func (s *Scenario) Run(pol Policy) (ScenarioResult, error) {
 		return err
 	}
 
+	// hpAlone is the HP's alone-run reference. When tracing it is
+	// resolved up front so the header carries it (the diagnostic layer
+	// derives per-period slowdown from it); otherwise it is computed
+	// after the run as before. Either way the value is identical — the
+	// alone run is an independent deterministic simulation.
+	hpAlone := 0.0
+	if s.Trace != nil {
+		if hpAlone, err = s.aloneIPC(s.HP); err != nil {
+			return ScenarioResult{}, err
+		}
+	}
+
 	var rec *obs.Recorder
 	if s.Trace != nil {
 		rec = obs.NewRecorder(s.Trace)
 		rec.AttachController(core.ControllerOf(runPol))
 		rec.AttachChaos(csys)
-		if err := rec.Start(s.traceHeader(pol, runPol)); err != nil {
+		if err := rec.Start(s.traceHeader(pol, runPol, hpAlone)); err != nil {
 			return ScenarioResult{}, err
 		}
 	}
@@ -254,7 +275,9 @@ func (s *Scenario) Run(pol Policy) (ScenarioResult, error) {
 	}
 	res.FinalHPWays = popCount(sys.CBM(policy.HPClos))
 
-	if res.HPAloneIPC, err = s.aloneIPC(s.HP); err != nil {
+	if hpAlone != 0 {
+		res.HPAloneIPC = hpAlone
+	} else if res.HPAloneIPC, err = s.aloneIPC(s.HP); err != nil {
 		return ScenarioResult{}, err
 	}
 	aloneCache := map[string]float64{}
@@ -274,7 +297,8 @@ func (s *Scenario) Run(pol Policy) (ScenarioResult, error) {
 // traceHeader describes the run for trace sinks and the replay tool.
 // pol is the user's policy (for the name), runPol the possibly
 // guard-wrapped one actually driven (for the controller config).
-func (s *Scenario) traceHeader(pol, runPol Policy) obs.Header {
+// hpAlone is the HP's alone-run reference IPC (0 = unresolved).
+func (s *Scenario) traceHeader(pol, runPol Policy, hpAlone float64) obs.Header {
 	h := obs.Header{
 		Schema:         obs.Schema,
 		Policy:         pol.Name(),
@@ -282,6 +306,9 @@ func (s *Scenario) traceHeader(pol, runPol Policy) obs.Header {
 		NumWays:        s.Machine.LLCWays,
 		PeriodSec:      s.PeriodSec,
 		HorizonPeriods: s.HorizonPeriods,
+		SLO:            s.SLO,
+		HPAloneIPC:     hpAlone,
+		LinkGbps:       s.Machine.Link.CapacityGBps,
 	}
 	for _, be := range s.BEs {
 		h.BEs = append(h.BEs, be.Name)
