@@ -1,0 +1,155 @@
+// dicer-hypo executes the registered statistical hypotheses: every named
+// configuration runs once per seed through the experiment suite / fleet
+// machinery, paired per-seed differences are judged with Student-t
+// confidence intervals and minimum-effect thresholds, and each
+// hypothesis renders a FINDINGS-style report with an explicit
+// Confirmed / Refuted / Inconclusive status.
+//
+// Usage:
+//
+//	dicer-hypo -list                         # registry with one-line claims
+//	dicer-hypo                               # run everything, reports to stdout
+//	dicer-hypo -run headroom-beats-random    # one hypothesis
+//	dicer-hypo -seeds 8                      # widen replication (seeds 42..49)
+//	dicer-hypo -periods 40                   # reduced horizon (smoke runs)
+//	dicer-hypo -out findings -json           # write <name>.md and <name>.json
+//
+// Reports are byte-deterministic for a fixed seed set and horizon.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dicer/internal/experiments"
+	"dicer/internal/hypo"
+)
+
+// options collects the flag values so tests can drive the same path.
+type options struct {
+	run     string
+	seeds   int
+	periods int
+	workers int
+	outDir  string
+	json    bool
+}
+
+func main() {
+	var opts options
+	var list bool
+	flag.BoolVar(&list, "list", false, "list registered hypotheses and exit")
+	flag.StringVar(&opts.run, "run", "all", "comma-separated hypothesis names, or all")
+	flag.IntVar(&opts.seeds, "seeds", 0, "override the seed count (seeds 42..42+n-1; 0 = registry default)")
+	flag.IntVar(&opts.periods, "periods", 0, "override fleet/soak horizon periods (0 = registry default)")
+	flag.IntVar(&opts.workers, "workers", 0, "parallel simulation workers (0 = all cores)")
+	flag.StringVar(&opts.outDir, "out", "", "directory to write <name>.md (and with -json, <name>.json) into")
+	flag.BoolVar(&opts.json, "json", false, "also emit JSON results")
+	flag.Parse()
+
+	if list {
+		for _, h := range hypo.Registered() {
+			fmt.Printf("%-40s %s\n", h.Name, h.Title)
+		}
+		return
+	}
+	if err := runHypotheses(opts, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dicer-hypo:", err)
+		os.Exit(1)
+	}
+}
+
+// selectHypotheses resolves -run against the registry.
+func selectHypotheses(spec string) ([]hypo.Hypothesis, error) {
+	if spec == "" || spec == "all" {
+		return hypo.Registered(), nil
+	}
+	var out []hypo.Hypothesis
+	for _, name := range strings.Split(spec, ",") {
+		h, err := hypo.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, h)
+	}
+	return out, nil
+}
+
+// applyOverrides rewrites seed set and horizons per the flags.
+func applyOverrides(h hypo.Hypothesis, opts options) hypo.Hypothesis {
+	if opts.seeds > 0 {
+		h.Seeds = hypo.DefaultSeeds(opts.seeds)
+	}
+	if opts.periods > 0 {
+		configs := make([]hypo.Config, len(h.Configs))
+		for i, c := range h.Configs {
+			if c.Fleet != nil {
+				f := *c.Fleet
+				f.HorizonPeriods = opts.periods
+				c.Fleet = &f
+			}
+			if c.Soak != nil {
+				s := *c.Soak
+				s.HorizonPeriods = opts.periods
+				c.Soak = &s
+			}
+			configs[i] = c
+		}
+		h.Configs = configs
+	}
+	return h
+}
+
+// runHypotheses executes the selected hypotheses and writes reports.
+func runHypotheses(opts options, w io.Writer) error {
+	hyps, err := selectHypotheses(opts.run)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Workers = opts.workers
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+	runner := hypo.NewRunner(suite)
+
+	if opts.outDir != "" {
+		if err := os.MkdirAll(opts.outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for i, h := range hyps {
+		res, err := runner.Run(applyOverrides(h, opts))
+		if err != nil {
+			return err
+		}
+		md := res.Markdown()
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if _, err := io.WriteString(w, md); err != nil {
+			return err
+		}
+		if opts.outDir != "" {
+			path := filepath.Join(opts.outDir, h.Name+".md")
+			if err := os.WriteFile(path, []byte(md), 0o644); err != nil {
+				return err
+			}
+			if opts.json {
+				body, err := res.JSON()
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(filepath.Join(opts.outDir, h.Name+".json"), []byte(body), 0o644); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -39,6 +39,7 @@ import (
 	"dicer/internal/diag"
 	"dicer/internal/experiments"
 	"dicer/internal/fleet"
+	"dicer/internal/hypo"
 	"dicer/internal/invariant"
 	"dicer/internal/machine"
 	"dicer/internal/membw"
@@ -176,6 +177,22 @@ type (
 	DiagReport = diag.Report
 	// DiagAnalyzeOptions tunes offline trace analysis.
 	DiagAnalyzeOptions = diag.AnalyzeOptions
+	// Hypothesis is a declared, falsifiable performance claim: named
+	// configurations, a seed set, and directional minimum-effect
+	// comparisons judged with paired Student-t confidence intervals.
+	Hypothesis = hypo.Hypothesis
+	// HypoComparison is one sub-claim of a hypothesis (metric, treatment
+	// vs control or baseline, direction, minimum effect).
+	HypoComparison = hypo.Comparison
+	// HypoRunner executes hypotheses through an experiment Suite with
+	// per-seed replication.
+	HypoRunner = hypo.Runner
+	// HypoResult is a fully executed and judged hypothesis; Markdown()
+	// and JSON() render the FINDINGS report byte-deterministically.
+	HypoResult = hypo.Result
+	// HypoVerdict is one comparison's judged outcome (CI, effect size,
+	// status, seed-widening trajectory).
+	HypoVerdict = hypo.Verdict
 )
 
 // ErrChaosInjected marks errors caused by an injected fault; harnesses
@@ -212,6 +229,15 @@ func NewDICER() *Controller { return core.MustNew(core.DefaultConfig()) }
 
 // NewDICERWith builds a DICER controller with a custom configuration.
 func NewDICERWith(cfg ControllerConfig) (*Controller, error) { return core.New(cfg) }
+
+// RegisteredHypotheses returns the repo's standing performance claims as
+// executable hypotheses (see cmd/dicer-hypo and DESIGN.md "Hypothesis
+// harness").
+func RegisteredHypotheses() []Hypothesis { return hypo.Registered() }
+
+// NewHypoRunner wraps a Suite for hypothesis execution: every (config,
+// seed) cell shares the suite's pooled runners and alone-run memo.
+func NewHypoRunner(s *Suite) *HypoRunner { return hypo.NewRunner(s) }
 
 // Unmanaged returns the UM baseline policy: no resource control at all.
 func Unmanaged() Policy { return policy.Unmanaged{} }

@@ -1,0 +1,148 @@
+package hypo
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestTrajectoryNoSilentFlips is the seed-widening property: judging
+// every prefix of a growing seed set, a definitive status may only reach
+// its opposite through an explicit Inconclusive step. The draws hover
+// around the decision bound to maximise raw flips, so the smoothing is
+// what the test exercises.
+func TestTrajectoryNoSilentFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		n := 2 + rng.Intn(11)
+		diffs := make([]float64, n)
+		// Mix regimes within one sequence: strong positive, strong
+		// negative, and near-bound noise.
+		for i := range diffs {
+			switch rng.Intn(3) {
+			case 0:
+				diffs[i] = 1 + 0.1*rng.NormFloat64()
+			case 1:
+				diffs[i] = -1 + 0.1*rng.NormFloat64()
+			default:
+				diffs[i] = 0.1 * rng.NormFloat64()
+			}
+		}
+		dir := Greater
+		if rng.Intn(2) == 1 {
+			dir = Less
+		}
+		minEffect := rng.Float64() * 0.5
+		traj := Trajectory(diffs, dir, minEffect, 0.95)
+		if len(traj) != n-1 {
+			t.Fatalf("trajectory length %d for %d diffs", len(traj), n)
+		}
+		for i := 1; i < len(traj); i++ {
+			a, b := traj[i-1], traj[i]
+			if (a == Confirmed && b == Refuted) || (a == Refuted && b == Confirmed) {
+				t.Fatalf("trial %d: silent flip %s -> %s in %v (diffs %v)", trial, a, b, traj, diffs)
+			}
+		}
+		// Judge's final status must be the trajectory's last element.
+		v := Judge(diffs, dir, minEffect, 0.95)
+		if v.Status != traj[len(traj)-1] {
+			t.Fatalf("trial %d: Judge status %s != trajectory tail %s", trial, v.Status, traj[len(traj)-1])
+		}
+	}
+}
+
+// TestTrajectoryFlipCoercion pins the rule on a hand-built conflict: a
+// prefix that confirms followed by evidence that would rawly refute.
+func TestTrajectoryFlipCoercion(t *testing.T) {
+	// First three diffs identical and positive: zero variance, point CI,
+	// Confirmed at every prefix. Then two large negative values drag the
+	// raw verdict to Refuted.
+	diffs := []float64{0.5, 0.5, 0.5, -8, -8.5}
+	traj := Trajectory(diffs, Greater, 0.1, 0.95)
+	if traj[0] != Confirmed || traj[1] != Confirmed {
+		t.Fatalf("expected confirmed prefixes, got %v", traj)
+	}
+	for i := 1; i < len(traj); i++ {
+		if traj[i-1] == Confirmed && traj[i] == Refuted {
+			t.Fatalf("silent flip survived smoothing: %v", traj)
+		}
+	}
+	v := Judge(diffs, Greater, 0.1, 0.95)
+	if v.Status != traj[len(traj)-1] {
+		t.Fatalf("Judge status %s != trajectory tail", v.Status)
+	}
+	if v.Status == Confirmed {
+		t.Fatalf("conflicting evidence cannot stay Confirmed: %v", traj)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Hypothesis{
+		Name:       "t",
+		Seeds:      []int64{1, 2},
+		Confidence: 0.95,
+		Configs:    []Config{{Name: "a", Soak: &SoakSpec{Schedule: "storm"}}},
+		Comparisons: []Comparison{{
+			Name: "c", Metric: MetricHPDegradation, Treatment: "a",
+			Baseline: 0.35, Direction: Less,
+		}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid hypothesis rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Hypothesis)
+		want   string
+	}{
+		{"one seed", func(h *Hypothesis) { h.Seeds = []int64{1} }, "at least 2 seeds"},
+		{"unknown treatment", func(h *Hypothesis) { h.Comparisons[0].Treatment = "zz" }, "unknown config"},
+		{"bad direction", func(h *Hypothesis) { h.Comparisons[0].Direction = "sideways" }, "direction"},
+		{"negative effect", func(h *Hypothesis) { h.Comparisons[0].MinEffect = -1 }, "negative min effect"},
+		{"no primaries", func(h *Hypothesis) { h.Comparisons[0].Exploratory = true }, "no primary"},
+		{"both specs", func(h *Hypothesis) {
+			h.Configs[0].Fleet = &FleetSpec{Scheduler: "random", Policy: "DICER"}
+		}, "both fleet and soak"},
+	}
+	for _, c := range cases {
+		h := good
+		h.Seeds = append([]int64(nil), good.Seeds...)
+		h.Configs = append([]Config(nil), good.Configs...)
+		h.Comparisons = append([]Comparison(nil), good.Comparisons...)
+		c.mutate(&h)
+		err := h.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestRollupExploratory: exploratory comparisons are reported but never
+// vote in the hypothesis status.
+func TestRollupExploratory(t *testing.T) {
+	mk := func(status Status, exploratory bool) ComparisonResult {
+		return ComparisonResult{
+			Comparison: Comparison{Exploratory: exploratory},
+			Verdict:    Verdict{Status: status},
+		}
+	}
+	cases := []struct {
+		name string
+		in   []ComparisonResult
+		want Status
+	}{
+		{"all confirmed", []ComparisonResult{mk(Confirmed, false), mk(Confirmed, false)}, Confirmed},
+		{"one refuted", []ComparisonResult{mk(Confirmed, false), mk(Refuted, false)}, Refuted},
+		{"one open", []ComparisonResult{mk(Confirmed, false), mk(Inconclusive, false)}, Inconclusive},
+		{"exploratory inconclusive ignored", []ComparisonResult{mk(Confirmed, false), mk(Inconclusive, true)}, Confirmed},
+		{"exploratory refuted ignored", []ComparisonResult{mk(Confirmed, false), mk(Refuted, true)}, Confirmed},
+		{"only exploratory", []ComparisonResult{mk(Confirmed, true)}, Inconclusive},
+		{"empty", nil, Inconclusive},
+	}
+	for _, c := range cases {
+		if got := rollup(c.in); got != c.want {
+			t.Errorf("%s: rollup = %s, want %s", c.name, got, c.want)
+		}
+	}
+}

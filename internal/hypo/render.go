@@ -1,0 +1,148 @@
+package hypo
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Markdown renders the result as a FINDINGS-style report (modeled on the
+// hypothesis documents of the inference-sim evaluation discipline: named
+// configurations, per-seed evidence, explicit resolution). Output is a
+// pure function of the result — byte-deterministic for a fixed seed set.
+func (r *Result) Markdown() string {
+	var b strings.Builder
+	h := r.Hypothesis
+	fmt.Fprintf(&b, "# HYPO: %s — %s\n\n", h.Name, h.Title)
+	fmt.Fprintf(&b, "**Status:** %s\n", r.Status)
+	fmt.Fprintf(&b, "**Family:** %s\n", h.Family)
+	fmt.Fprintf(&b, "**Seeds:** %d (%s)\n", len(h.Seeds), seedList(h.Seeds))
+	fmt.Fprintf(&b, "**Method:** paired per-seed differences, Student-t %.0f%% CI, minimum-effect thresholds\n\n",
+		h.Confidence*100)
+
+	b.WriteString("## Hypothesis\n\n")
+	fmt.Fprintf(&b, "> %s\n\n", h.Claim)
+
+	b.WriteString("## Configurations\n\n")
+	for _, cfg := range h.Configs {
+		fmt.Fprintf(&b, "- `%s`: %s\n", cfg.Name, cfg.Describe())
+	}
+	b.WriteString("\n## Evidence\n\n")
+	b.WriteString("| Comparison | Metric | Treatment mean | Control mean | Δ mean | CI | Effect size | Verdict |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, c := range r.Comparisons {
+		v := c.Verdict
+		name := c.Name
+		if c.Exploratory {
+			name += " (exploratory)"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | [%s, %s] | %s | %s |\n",
+			name, c.Metric, f4(v.MeanTreat), f4(v.MeanCtrl), f4(v.MeanDiff),
+			f4(v.CILo), f4(v.CIHi), effect(v.EffectSize), v.Status)
+	}
+	b.WriteString("\n")
+
+	for _, c := range r.Comparisons {
+		ctrl := c.Control
+		if ctrl == "" {
+			ctrl = fmt.Sprintf("baseline %s", f4(c.Baseline))
+		}
+		name := c.Name
+		if c.Exploratory {
+			name += " (exploratory — does not vote in the roll-up)"
+		}
+		fmt.Fprintf(&b, "### %s: `%s` vs `%s` (%s, direction %s, min effect %s)\n\n",
+			name, c.Treatment, ctrl, c.Metric, c.Direction, f4(c.MinEffect))
+		fmt.Fprintf(&b, "| Seed | %s | %s | Δ |\n|---|---|---|---|\n", c.Treatment, ctrl)
+		for i, d := range c.Diffs {
+			fmt.Fprintf(&b, "| %d | %s | %s | %s |\n",
+				h.Seeds[i], f4(c.TreatmentValues[i]), f4(c.ControlValues[i]), f4(d))
+		}
+		v := c.Verdict
+		fmt.Fprintf(&b, "\nΔ mean %s ± %s (sd), %.0f%% CI [%s, %s], paired effect size %s → **%s** (%s).\n",
+			f4(v.MeanDiff), f4(v.StdDiff), h.Confidence*100, f4(v.CILo), f4(v.CIHi),
+			effect(v.EffectSize), v.Status, v.Reason)
+		if len(v.Trajectory) > 1 {
+			fmt.Fprintf(&b, "Seed-widening trajectory (n=2..%d): %s.\n", v.N, statusList(v.Trajectory))
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("## Resolution\n\n")
+	fmt.Fprintf(&b, "**%s** — %s\n", r.Status, resolution(r))
+	return b.String()
+}
+
+// JSON renders the result as indented JSON (deterministic: the result
+// holds no maps).
+func (r *Result) JSON() (string, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}
+
+// resolution summarises why the roll-up landed where it did (primary
+// comparisons only — exploratory endpoints do not vote).
+func resolution(r *Result) string {
+	var confirmed, refuted, open []string
+	for _, c := range r.Comparisons {
+		if c.Exploratory {
+			continue
+		}
+		switch c.Verdict.Status {
+		case Confirmed:
+			confirmed = append(confirmed, c.Name)
+		case Refuted:
+			refuted = append(refuted, c.Name)
+		default:
+			open = append(open, c.Name)
+		}
+	}
+	switch r.Status {
+	case Confirmed:
+		return fmt.Sprintf("every comparison confirmed (%s).", strings.Join(confirmed, ", "))
+	case Refuted:
+		return fmt.Sprintf("refuted by %s.", strings.Join(refuted, ", "))
+	default:
+		if len(open) > 0 {
+			return fmt.Sprintf("evidence does not resolve %s.", strings.Join(open, ", "))
+		}
+		return "no comparisons were judged."
+	}
+}
+
+// f4 formats a float with four decimals; negative zero normalises to
+// zero so reports cannot differ by sign-of-zero.
+func f4(v float64) string {
+	if v == 0 {
+		v = 0
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// effect formats a paired effect size; zero-variance diffs have none.
+func effect(d float64) string {
+	if math.IsInf(d, 0) {
+		return "n/a (zero variance)"
+	}
+	return fmt.Sprintf("%.2f", d)
+}
+
+func seedList(seeds []int64) string {
+	parts := make([]string, len(seeds))
+	for i, s := range seeds {
+		parts[i] = fmt.Sprintf("%d", s)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func statusList(ss []Status) string {
+	parts := make([]string, len(ss))
+	for i, s := range ss {
+		parts[i] = string(s)
+	}
+	return strings.Join(parts, " → ")
+}

@@ -1,0 +1,192 @@
+package hypo
+
+import (
+	"testing"
+
+	"dicer/internal/experiments"
+)
+
+func newTestRunner(t *testing.T) *Runner {
+	t.Helper()
+	suite, err := experiments.NewSuite(experiments.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRunner(suite)
+}
+
+// TestCrossLayerFleetAgreement pins the hypo run layer to the existing
+// single-seed experiments.FleetSuite comparison: at the shared seed the
+// headroom cell must reproduce the suite's result exactly (the headroom
+// scheduler ignores SchedSeed, so the two layers build identical
+// clusters), and the headroom-vs-random EFU direction must agree.
+func TestCrossLayerFleetAgreement(t *testing.T) {
+	r := newTestRunner(t)
+
+	arrivals := consolidationArrivals()
+	arrivals.Seed = 42
+	cells, err := r.Suite.FleetSuite(experiments.FleetConfig{
+		Nodes:          4,
+		HorizonPeriods: 80,
+		Arrivals:       arrivals,
+		Schedulers:     []string{"random", "headroom"},
+		Policies:       []experiments.PolicyName{experiments.DICER},
+		QueueCap:       40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suiteEFU := map[string]float64{}
+	for _, c := range cells {
+		suiteEFU[c.Scheduler] = c.Result.FleetEFU
+	}
+
+	h, err := ByName("headroom-beats-random")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Seeds = []int64{42, 43} // Judge needs an interval; seed 42 is the pin.
+	res, err := r.Run(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headroom, ok := res.series("headroom", MetricFleetEFU)
+	if !ok {
+		t.Fatal("no headroom fleet_efu series")
+	}
+	random, ok := res.series("random", MetricFleetEFU)
+	if !ok {
+		t.Fatal("no random fleet_efu series")
+	}
+
+	// Exact equality: same arrival trace, same deterministic scheduler,
+	// same suite memo — any drift means the run layers diverged.
+	if headroom[0] != suiteEFU["headroom"] {
+		t.Errorf("headroom cell diverged: hypo %.6f vs FleetSuite %.6f", headroom[0], suiteEFU["headroom"])
+	}
+
+	// Direction agreement at the shared seed (the random cells use
+	// different scheduler streams, so only the sign is comparable).
+	suiteDir := suiteEFU["headroom"] > suiteEFU["random"]
+	hypoDir := headroom[0] > random[0]
+	if suiteDir != hypoDir {
+		t.Errorf("headroom-vs-random EFU direction disagrees: FleetSuite %v (%.4f vs %.4f), hypo %v (%.4f vs %.4f)",
+			suiteDir, suiteEFU["headroom"], suiteEFU["random"], hypoDir, headroom[0], random[0])
+	}
+}
+
+// TestRegisteredDefinitive is the acceptance gate: every registered
+// hypothesis runs at its default seed set, and the headline claims —
+// headroom-vs-random and the UM/CT/DICER ordering — must resolve to an
+// explicit Confirmed or Refuted, not Inconclusive.
+func TestRegisteredDefinitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry run")
+	}
+	r := newTestRunner(t)
+	regs := Registered()
+	if len(regs) < 4 {
+		t.Fatalf("registry has %d hypotheses, want >= 4", len(regs))
+	}
+	mustResolve := map[string]bool{
+		"headroom-beats-random":                  true,
+		"policy-ordering-survives-consolidation": true,
+	}
+	statuses := map[string]Status{}
+	for _, h := range regs {
+		if len(h.Seeds) < 5 {
+			t.Errorf("%s runs %d seeds, want >= 5", h.Name, len(h.Seeds))
+		}
+		res, err := r.Run(h)
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name, err)
+		}
+		statuses[h.Name] = res.Status
+	}
+	for name := range mustResolve {
+		switch statuses[name] {
+		case Confirmed, Refuted:
+		default:
+			t.Errorf("%s resolved %q, acceptance requires an explicit Confirmed/Refuted", name, statuses[name])
+		}
+	}
+}
+
+// TestRunnerDeterminism: two independent end-to-end runs of the same
+// hypothesis (parallel cells and all) render byte-identical reports.
+func TestRunnerDeterminism(t *testing.T) {
+	r := newTestRunner(t)
+	h, err := ByName("headroom-beats-random")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Run(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Markdown() != b.Markdown() {
+		t.Fatal("markdown reports differ across identical runs")
+	}
+	ja, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ja != jb {
+		t.Fatal("JSON reports differ across identical runs")
+	}
+}
+
+// TestRunUnknownMetric: a soak config only yields HP degradation.
+func TestRunUnknownMetric(t *testing.T) {
+	r := newTestRunner(t)
+	h := Hypothesis{
+		Name:       "bad-metric",
+		Seeds:      []int64{1, 2},
+		Confidence: 0.95,
+		Configs:    []Config{{Name: "s", Soak: &SoakSpec{Schedule: "storm"}}},
+		Comparisons: []Comparison{{
+			Name: "c", Metric: MetricFleetEFU, Treatment: "s",
+			Baseline: 0.5, Direction: Greater,
+		}},
+	}
+	if _, err := r.Run(h); err == nil {
+		t.Fatal("expected an error extracting fleet_efu from a soak run")
+	}
+}
+
+// TestArrivalSeedIsReplicated guards the replication contract: the
+// hypothesis seed must reach the arrival stream (different seeds,
+// different traces, different results).
+func TestArrivalSeedIsReplicated(t *testing.T) {
+	r := newTestRunner(t)
+	spec := FleetSpec{
+		Scheduler: "headroom",
+		Policy:    experiments.DICER,
+		Arrivals:  consolidationArrivals(),
+	}
+	vals, err := r.runFleet(spec, []int64{42, 43, 44}, []Metric{MetricFleetEFU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0][0] == vals[1][0] && vals[1][0] == vals[2][0] {
+		t.Fatalf("fleet EFU identical across seeds (%v): the seed is not reaching the arrival stream", vals)
+	}
+	// And the override must not leak: the spec's own Seed field is
+	// ignored in favour of the per-replicate seed.
+	spec.Arrivals.Seed = 7
+	again, err := r.runFleet(spec, []int64{42}, []Metric{MetricFleetEFU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0][0] != vals[0][0] {
+		t.Fatalf("spec-level arrival seed leaked into the replicate: %.6f vs %.6f", again[0][0], vals[0][0])
+	}
+}
