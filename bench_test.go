@@ -14,6 +14,7 @@ package dicer_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -142,6 +143,27 @@ func BenchmarkFigure1_SlowdownCDF(b *testing.B) {
 func BenchmarkSweep59x59(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s, err := experiments.NewSuite(experiments.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := s.Figure1(9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.UMCDF[1], "umCDF@1.1x_%")
+	}
+}
+
+// BenchmarkSweep59x59Parallel is the same fresh-suite sweep with the
+// sharded executor explicitly bounded to every core (the equivalence
+// suite guarantees the output is byte-identical to Workers=1). Together
+// with BenchmarkSweep59x59 it exposes the parallel speedup; ns/op ÷
+// (serial ns/op ÷ GOMAXPROCS) is the executor's parallel efficiency.
+func BenchmarkSweep59x59Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultConfig()
+		cfg.Workers = runtime.GOMAXPROCS(0)
+		s, err := experiments.NewSuite(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"dicer/internal/experiments"
+	"dicer/internal/hypo"
+)
+
+// hypoRecord is the perf-trajectory record BENCH_hypo.json carries: the
+// full hypothesis registry replicated over a reduced seed set, so the
+// cost of statistical verification (which multiplies every fleet/soak
+// configuration by its seeds) is tracked alongside the sweep.
+type hypoRecord struct {
+	Benchmark   string            `json:"benchmark"`
+	Hypotheses  int               `json:"hypotheses"`
+	Seeds       int               `json:"seeds_per_hypothesis"`
+	Cells       int               `json:"cells"`
+	Workers     int               `json:"workers"`
+	WallSeconds float64           `json:"wall_seconds"`
+	SecPerCell  float64           `json:"sec_per_cell"`
+	Statuses    map[string]string `json:"statuses"`
+}
+
+// writeHypoJSON runs every registered hypothesis with its seed set
+// truncated to `seeds` replicates (statistical power is not the point of
+// a perf record; cost per cell is) and writes the trajectory record.
+func writeHypoJSON(cfg experiments.Config, path string, seeds int) error {
+	if seeds < 2 {
+		seeds = 2 // hypotheses need >= 2 seeds for intervals
+	}
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+	runner := hypo.NewRunner(suite)
+
+	rec := hypoRecord{
+		Benchmark: "hypo-registry-reduced",
+		Seeds:     seeds,
+		Workers:   cfg.Workers,
+		Statuses:  map[string]string{},
+	}
+	start := time.Now()
+	for _, h := range hypo.Registered() {
+		if len(h.Seeds) > seeds {
+			h.Seeds = h.Seeds[:seeds]
+		}
+		res, err := runner.Run(h)
+		if err != nil {
+			return fmt.Errorf("hypothesis %s: %w", h.Name, err)
+		}
+		rec.Hypotheses++
+		rec.Cells += len(h.Configs) * len(h.Seeds)
+		rec.Statuses[h.Name] = string(res.Status)
+	}
+	rec.WallSeconds = time.Since(start).Seconds()
+	if rec.Cells > 0 {
+		rec.SecPerCell = rec.WallSeconds / float64(rec.Cells)
+	}
+
+	body, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(body, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("hypo: %d hypotheses x %d seeds (%d cells), %.2f s wall, %.3f s/cell\nwrote %s\n",
+		rec.Hypotheses, rec.Seeds, rec.Cells, rec.WallSeconds, rec.SecPerCell, path)
+	return nil
+}

@@ -36,8 +36,12 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = all cores)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		sweepJSON  = flag.String("sweepjson", "", "measure the uncached 59x59 sweep and write {wall, ns/step, allocs/step} JSON to this file, then exit")
+		sweepJSON  = flag.String("sweepjson", "", "measure the uncached 59x59 sweep and write {wall, ns/step, allocs/step, parallel efficiency} JSON to this file, then exit")
 		fleetJSON  = flag.String("fleetjson", "", "measure the fleet scheduler comparison and write {wall, ns/node-period, EFU} JSON to this file, then exit")
+		hypoJSON   = flag.String("hypojson", "", "run the hypothesis registry with a reduced seed set and write {wall, s/cell, statuses} JSON to this file, then exit")
+		hypoSeeds  = flag.Int("hyposeeds", 2, "seeds per hypothesis for -hypojson")
+		against    = flag.String("against", "", "with -sweepjson: compare the fresh record against this committed BENCH_sweep.json and exit non-zero on regression")
+		regressPct = flag.Float64("regress-pct", 15, "with -against: tolerated ns_per_step / allocs_per_step regression in percent")
 	)
 	flag.Parse()
 
@@ -71,6 +75,17 @@ func main() {
 
 	if *sweepJSON != "" {
 		if err := writeSweepJSON(cfg, *sweepJSON); err != nil {
+			fatal(err)
+		}
+		if *against != "" {
+			if err := checkSweepRegression(*sweepJSON, *against, *regressPct); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	if *hypoJSON != "" {
+		if err := writeHypoJSON(cfg, *hypoJSON, *hypoSeeds); err != nil {
 			fatal(err)
 		}
 		return

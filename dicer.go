@@ -87,7 +87,12 @@ type (
 	Runner = sim.Runner
 	// Suite memoises experiment runs (figure drivers hang off it).
 	Suite = experiments.Suite
-	// ExperimentConfig configures the experiment harness.
+	// ExperimentConfig configures the experiment harness. Its Workers
+	// field bounds parallelism across every execution path the suite
+	// owns — RunMany, the figure sweeps, FleetSuite, Soak, and hypothesis
+	// replication — through one sharded executor; 0 means GOMAXPROCS.
+	// Output is byte-identical for any Workers value: results land in
+	// index-addressed slots, so ordering never depends on scheduling.
 	ExperimentConfig = experiments.Config
 	// Workload names one HP + n×BE multiprogrammed workload.
 	Workload = experiments.Workload

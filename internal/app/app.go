@@ -138,6 +138,16 @@ func PhasePerf(m machine.Machine, ph Phase, cacheBytes, inflation, baseFactor fl
 // point in internal/sim) compute it once and call this for every factor.
 // The arithmetic is identical to PhasePerf's, term for term.
 func PhasePerfMiss(m machine.Machine, ph Phase, miss, inflation, baseFactor float64) Perf {
+	return PhasePerfMissRef(&m, &ph, miss, inflation, baseFactor)
+}
+
+// PhasePerfMissRef is PhasePerfMiss with the machine and phase taken by
+// pointer. Machine and Phase together are ~160 bytes; per-step hot loops
+// (the simulator advances every process every Step, and the bandwidth
+// fixed point re-evaluates demand dozens of times per solve) call this to
+// avoid copying them on every evaluation. The arguments are read, never
+// written; the arithmetic is PhasePerfMiss's, term for term.
+func PhasePerfMissRef(m *machine.Machine, ph *Phase, miss, inflation, baseFactor float64) Perf {
 	mpki := ph.APKI * miss
 	cpi := ph.BaseCPI*baseFactor + mpki/1000*m.MemLatCycles*inflation
 	ipc := 1 / cpi
@@ -180,6 +190,12 @@ func NewProc(p Profile) *Proc {
 // Phase returns the currently executing phase.
 func (pr *Proc) Phase() Phase { return pr.Profile.Phases[pr.phase] }
 
+// PhaseRef returns a pointer to the currently executing phase. Hot paths
+// use it instead of Phase to avoid copying the ~100-byte Phase struct;
+// callers must treat the target as read-only and must not retain it past
+// the next Advance (which may cross a phase boundary).
+func (pr *Proc) PhaseRef() *Phase { return &pr.Profile.Phases[pr.phase] }
+
 // PhaseIndex returns the index of the current phase.
 func (pr *Proc) PhaseIndex() int { return pr.phase }
 
@@ -192,7 +208,7 @@ func (pr *Proc) Perf(m machine.Machine, cacheBytes, inflation, baseFactor float6
 // (cacheBytes, inflation), crossing phase boundaries and restarting as
 // needed. It returns the instructions retired during the interval.
 func (pr *Proc) Advance(m machine.Machine, cacheBytes, inflation, baseFactor, dt float64) float64 {
-	return pr.advance(m, cacheBytes, -1, inflation, baseFactor, dt)
+	return pr.advance(&m, cacheBytes, -1, inflation, baseFactor, dt)
 }
 
 // AdvanceMiss is Advance with a precomputed miss ratio for the process's
@@ -200,18 +216,26 @@ func (pr *Proc) Advance(m machine.Machine, cacheBytes, inflation, baseFactor, dt
 // sharing hold it). Later phases entered during the interval evaluate
 // their own curves as usual.
 func (pr *Proc) AdvanceMiss(m machine.Machine, cacheBytes, miss, inflation, baseFactor, dt float64) float64 {
+	return pr.advance(&m, cacheBytes, miss, inflation, baseFactor, dt)
+}
+
+// AdvanceMissRef is AdvanceMiss with the machine taken by pointer, for
+// per-step callers (the simulator advances every process every Step and
+// the struct copy would dominate). The machine is read, never written.
+func (pr *Proc) AdvanceMissRef(m *machine.Machine, cacheBytes, miss, inflation, baseFactor, dt float64) float64 {
 	return pr.advance(m, cacheBytes, miss, inflation, baseFactor, dt)
 }
 
-func (pr *Proc) advance(m machine.Machine, cacheBytes, miss, inflation, baseFactor, dt float64) float64 {
-	cyclesLeft := dt * m.CyclesPerSecond()
+func (pr *Proc) advance(m *machine.Machine, cacheBytes, miss, inflation, baseFactor, dt float64) float64 {
+	cps := m.CyclesPerSecond()
+	cyclesLeft := dt * cps
 	var retired float64
 	for cyclesLeft > 1e-9 {
-		ph := pr.Phase()
+		ph := &pr.Profile.Phases[pr.phase]
 		if miss < 0 {
 			miss = ph.Curve.MissRatio(cacheBytes)
 		}
-		perf := PhasePerfMiss(m, ph, miss, inflation, baseFactor)
+		perf := PhasePerfMissRef(m, ph, miss, inflation, baseFactor)
 		phaseRemaining := ph.Instructions - pr.phaseInstr
 		// Cycles needed to finish the phase at the current CPI.
 		cpi := 1 / perf.IPC
@@ -225,7 +249,7 @@ func (pr *Proc) advance(m machine.Machine, cacheBytes, miss, inflation, baseFact
 		pr.phaseInstr += instr
 		pr.Instructions += instr
 		pr.Cycles += step
-		pr.MemBytes += perf.BytesPerSec * (step / m.CyclesPerSecond())
+		pr.MemBytes += perf.BytesPerSec * (step / cps)
 		retired += instr
 		cyclesLeft -= step
 		if finishes {

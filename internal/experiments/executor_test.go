@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestExecuteCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16, 100} {
+		for _, n := range []int{0, 1, 2, 5, 16, 257} {
+			counts := make([]atomic.Int32, n)
+			if err := Execute(n, workers, func(i int) error {
+				counts[i].Add(1)
+				return nil
+			}); err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("n=%d workers=%d: index %d ran %d times", n, workers, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestExecuteStealsSkewedShards(t *testing.T) {
+	// All the work lives in the first shard's index range; with more
+	// workers than busy indices, stealing must still cover everything.
+	var ran atomic.Int32
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	if err := Execute(64, 8, func(i int) error {
+		ran.Add(1)
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 64 || len(seen) != 64 {
+		t.Fatalf("covered %d indices (%d calls), want 64", len(seen), ran.Load())
+	}
+}
+
+func TestExecuteReportsLowestIndexError(t *testing.T) {
+	fail := map[int]bool{3: true, 11: true, 40: true}
+	for _, workers := range []int{1, 4, 16} {
+		err := Execute(48, workers, func(i int) error {
+			if fail[i] {
+				return fmt.Errorf("index %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "index 3 failed" {
+			t.Fatalf("workers=%d: got %v, want the lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestExecuteRunsEverythingDespiteErrors(t *testing.T) {
+	var ran atomic.Int32
+	err := Execute(32, 4, func(i int) error {
+		ran.Add(1)
+		if i%2 == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if ran.Load() != 32 {
+		t.Fatalf("ran %d of 32 indices; every index must run even when others fail", ran.Load())
+	}
+}
+
+func TestExecuteZeroAndNegativeN(t *testing.T) {
+	if err := Execute(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Execute(-3, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Zero-alloc guards for the engine's hot path. The 59×59 sweep performs
+// ~7k memoised runs and ~2.3M steps; a single allocation on the warm
+// lookup or the result-slot write multiplies into measurable GC load, so
+// both are pinned at zero.
+
+func TestMemoLookupWarmZeroAlloc(t *testing.T) {
+	s := suite(t)
+	w := Workload{HP: "namd1", BE: "povray1", BECount: 1}
+	if _, err := s.Run(w, UM, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AloneIPC("namd1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if _, err := s.Run(w, UM, 5); err != nil {
+			t.Error(err)
+		}
+	}); got != 0 {
+		t.Errorf("warm Run lookup allocates %v/op, want 0", got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if _, err := s.AloneIPCWays("namd1", s.Config().Machine.LLCWays); err != nil {
+			t.Error(err)
+		}
+	}); got != 0 {
+		t.Errorf("warm AloneIPCWays lookup allocates %v/op, want 0", got)
+	}
+}
+
+func TestResultSlotWriteZeroAlloc(t *testing.T) {
+	s := suite(t)
+	jobs := []Job{
+		{W: Workload{HP: "namd1", BE: "povray1", BECount: 1}, Policy: UM, Horizon: 5},
+		{W: Workload{HP: "povray1", BE: "namd1", BECount: 1}, Policy: UM, Horizon: 5},
+	}
+	if _, err := s.RunMany(jobs); err != nil {
+		t.Fatal(err)
+	}
+	// Warm executor pass with a caller-owned arena: claiming indices and
+	// writing result slots must not allocate (the arena, the jobs, and
+	// the job closure are the only per-call state, all hoisted here).
+	results := make([]Result, len(jobs))
+	runJob := func(i int) error {
+		var err error
+		results[i], err = s.Run(jobs[i].W, jobs[i].Policy, jobs[i].Horizon)
+		return err
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if err := Execute(len(jobs), 1, runJob); err != nil {
+			t.Error(err)
+		}
+	}); got != 0 {
+		t.Errorf("warm result-slot writes allocate %v/op, want 0", got)
+	}
+}

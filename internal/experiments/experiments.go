@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dicer/internal/app"
 	"dicer/internal/core"
@@ -39,7 +40,12 @@ type Config struct {
 	// SweepHorizonPeriods is the (shorter) horizon used for the full
 	// 59×59 baseline sweep of Figure 1.
 	SweepHorizonPeriods int
-	// Workers bounds run parallelism; 0 means GOMAXPROCS.
+	// Workers bounds parallelism for every execution path the suite
+	// owns (RunMany, figure sweeps, FleetSuite, Soak, and hypothesis
+	// replication via internal/hypo); 0 means GOMAXPROCS. Results are
+	// identical for any value — the executor writes into
+	// index-addressed slots, so ordering is deterministic by
+	// construction.
 	Workers int
 	// ReferenceSolver routes every simulation through the retained
 	// pre-optimisation solver (sim.Runner.UseReferenceSolver). Solver
@@ -152,36 +158,43 @@ func (r Result) SUCI(slo, lambda float64) float64 {
 const memoShards = 16
 
 // aloneEntry is a singleflight cell: the first caller computes under the
-// Once, every concurrent duplicate blocks on it and shares the result.
+// mutex and publishes through done; every concurrent duplicate blocks on
+// the mutex and shares the result, and every later caller takes the
+// lock-free fast path. A sync.Once would do the same, but once.Do(f)
+// heap-allocates the closure f on every call — including warm hits —
+// and the memo lookup is pinned at zero allocations.
 type aloneEntry struct {
-	once sync.Once
+	done atomic.Bool
+	mu   sync.Mutex
 	ipc  float64
 	err  error
 }
 
 // runEntry is the singleflight cell for co-located runs.
 type runEntry struct {
-	once sync.Once
+	done atomic.Bool
+	mu   sync.Mutex
 	res  Result
 	err  error
 }
 
 type memoShard[K comparable, V any] struct {
 	mu sync.Mutex
-	m  map[K]V
+	m  map[K]*V
 }
 
 // entry returns the cell for key, creating it if absent. Only the map
-// access is under the shard lock; the compute runs under the cell's Once,
-// so distinct keys never contend.
-func (s *memoShard[K, V]) entry(key K, mk func() V) V {
+// access is under the shard lock; the compute runs under the cell's own
+// lock, so distinct keys never contend. Warm lookups allocate nothing:
+// the key is a value type and the cell is boxed once, on first miss.
+func (s *memoShard[K, V]) entry(key K) *V {
 	s.mu.Lock()
 	v, ok := s.m[key]
 	if !ok {
 		if s.m == nil {
-			s.m = map[K]V{}
+			s.m = map[K]*V{}
 		}
-		v = mk()
+		v = new(V)
 		s.m[key] = v
 	}
 	s.mu.Unlock()
@@ -191,14 +204,14 @@ func (s *memoShard[K, V]) entry(key K, mk func() V) V {
 // Suite memoises alone runs and co-located runs for one configuration.
 // It is safe for concurrent use: the memo maps are sharded by key hash,
 // each entry is computed exactly once (singleflight), and simulation
-// Runners are pooled and reset between runs.
+// state is pooled and reset between runs.
 type Suite struct {
 	cfg Config
 
-	aloneSh [memoShards]memoShard[aloneKey, *aloneEntry]
-	runSh   [memoShards]memoShard[runKey, *runEntry]
+	aloneSh [memoShards]memoShard[aloneKey, aloneEntry]
+	runSh   [memoShards]memoShard[runKey, runEntry]
 
-	runners sync.Pool // *sim.Runner, reset before reuse
+	ctxs sync.Pool // *runCtx, reset before reuse
 
 	classMu sync.Mutex
 	class   map[int]*Classification // BECount -> classification
@@ -260,29 +273,44 @@ func NewSuite(cfg Config) (*Suite, error) {
 	}, nil
 }
 
-// getRunner returns a pooled Runner reset to closCount CLOS (or a fresh
-// one when the pool is empty). Return it with putRunner when the run's
-// counters have been read.
-func (s *Suite) getRunner(closCount int) (*sim.Runner, error) {
-	if v := s.runners.Get(); v != nil {
-		r := v.(*sim.Runner)
-		if err := r.Reset(closCount); err != nil {
+// runCtx is the pooled per-run simulation state: a Runner, the resctrl
+// emulation wrapping it, and a Meter over the emulation. Pooling the
+// three together (rather than the Runner alone) carries every grown
+// scratch buffer — snapshot slices, counter readings, period backing —
+// from run to run, so steady-state runs allocate nothing for sampling.
+// A worker holds at most one runCtx at a time; the pool's steady-state
+// population equals the executor's worker count.
+type runCtx struct {
+	r     *sim.Runner
+	emu   *resctrl.Emu
+	meter *resctrl.Meter
+}
+
+// getCtx returns a pooled runCtx whose Runner is reset to closCount CLOS
+// (or a fresh one when the pool is empty). The Meter's baseline is stale
+// at return; callers that sample rebaseline after attaching processes.
+// Return the ctx with putCtx when the run's counters have been read.
+func (s *Suite) getCtx(closCount int) (*runCtx, error) {
+	if v := s.ctxs.Get(); v != nil {
+		c := v.(*runCtx)
+		if err := c.r.Reset(closCount); err != nil {
 			return nil, err
 		}
-		r.UseReferenceSolver(s.cfg.ReferenceSolver)
-		return r, nil
+		c.r.UseReferenceSolver(s.cfg.ReferenceSolver)
+		return c, nil
 	}
 	r, err := sim.New(s.cfg.Machine, closCount)
 	if err != nil {
 		return nil, err
 	}
 	r.UseReferenceSolver(s.cfg.ReferenceSolver)
-	return r, nil
+	emu := resctrl.NewEmu(r, false)
+	return &runCtx{r: r, emu: emu, meter: resctrl.NewMeter(emu)}, nil
 }
 
-func (s *Suite) putRunner(r *sim.Runner) {
-	if r != nil {
-		s.runners.Put(r)
+func (s *Suite) putCtx(c *runCtx) {
+	if c != nil {
+		s.ctxs.Put(c)
 	}
 }
 
@@ -308,10 +336,15 @@ func (s *Suite) AloneIPC(name string) (float64, error) {
 // behind the paper's Figure 2.
 func (s *Suite) AloneIPCWays(name string, ways int) (float64, error) {
 	key := aloneKey{name, ways}
-	e := s.aloneSh[key.shard()].entry(key, func() *aloneEntry { return &aloneEntry{} })
-	e.once.Do(func() {
-		e.ipc, e.err = s.aloneUncached(name, ways)
-	})
+	e := s.aloneSh[key.shard()].entry(key)
+	if !e.done.Load() {
+		e.mu.Lock()
+		if !e.done.Load() {
+			e.ipc, e.err = s.aloneUncached(name, ways)
+			e.done.Store(true)
+		}
+		e.mu.Unlock()
+	}
 	return e.ipc, e.err
 }
 
@@ -321,11 +354,12 @@ func (s *Suite) aloneUncached(name string, ways int) (float64, error) {
 		return 0, err
 	}
 	m := s.cfg.Machine
-	r, err := s.getRunner(1)
+	c, err := s.getCtx(1)
 	if err != nil {
 		return 0, err
 	}
-	defer s.putRunner(r)
+	defer s.putCtx(c)
+	r := c.r
 	if err := r.Attach(0, 0, prof); err != nil {
 		return 0, err
 	}
@@ -348,10 +382,15 @@ func (s *Suite) aloneUncached(name string, ways int) (float64, error) {
 // given horizon in periods.
 func (s *Suite) Run(w Workload, pol PolicyName, horizon int) (Result, error) {
 	key := runKey{w, pol, horizon}
-	e := s.runSh[key.shard()].entry(key, func() *runEntry { return &runEntry{} })
-	e.once.Do(func() {
-		e.res, e.err = s.runUncached(w, pol, horizon)
-	})
+	e := s.runSh[key.shard()].entry(key)
+	if !e.done.Load() {
+		e.mu.Lock()
+		if !e.done.Load() {
+			e.res, e.err = s.runUncached(w, pol, horizon)
+			e.done.Store(true)
+		}
+		e.mu.Unlock()
+	}
 	return e.res, e.err
 }
 
@@ -386,11 +425,12 @@ func (s *Suite) run(w Workload, p policy.Policy, polName PolicyName, horizon int
 		return Result{}, err
 	}
 
-	r, err := s.getRunner(2)
+	c, err := s.getCtx(2)
 	if err != nil {
 		return Result{}, err
 	}
-	defer s.putRunner(r)
+	defer s.putCtx(c)
+	r := c.r
 	if err := r.Attach(0, policy.HPClos, hpProf); err != nil {
 		return Result{}, err
 	}
@@ -400,7 +440,7 @@ func (s *Suite) run(w Workload, p policy.Policy, polName PolicyName, horizon int
 		}
 	}
 
-	emu := resctrl.NewEmu(r, false)
+	emu := c.emu
 	var rec *obs.Recorder
 	if s.cfg.Trace != nil {
 		if sink := s.cfg.Trace(w, polName); sink != nil {
@@ -428,7 +468,10 @@ func (s *Suite) run(w Workload, p policy.Policy, polName PolicyName, horizon int
 	if err := p.Setup(emu); err != nil {
 		return Result{}, err
 	}
-	meter := resctrl.NewMeter(emu)
+	// Rebaseline at exactly the point a fresh NewMeter would read its
+	// baseline: after attach and policy setup, before the first step.
+	meter := c.meter
+	meter.Rebaseline()
 	dt := s.cfg.PeriodSec / float64(s.cfg.StepsPerPeriod)
 	for period := 0; period < horizon; period++ {
 		for step := 0; step < s.cfg.StepsPerPeriod; step++ {
@@ -469,26 +512,18 @@ type Job struct {
 	Horizon int
 }
 
-// RunMany runs jobs across the suite worker pool.
+// RunMany runs jobs across the sharded executor: job i's result lands in
+// slot i of a preallocated arena, so output order matches job order for
+// any worker count.
 func (s *Suite) RunMany(jobs []Job) ([]Result, error) {
 	results := make([]Result, len(jobs))
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, s.workers())
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j Job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = s.Run(j.W, j.Policy, j.Horizon)
-		}(i, j)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	err := s.execute(len(jobs), func(i int) error {
+		var err error
+		results[i], err = s.Run(jobs[i].W, jobs[i].Policy, jobs[i].Horizon)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }

@@ -77,38 +77,27 @@ func (s *Suite) Figure2() (Figure2Result, error) {
 		MinWays: make(map[string][]int, len(names)),
 	}
 
-	// Per-app alone IPC at every way count, in parallel.
+	// Per-app alone IPC at every way count. One executor job per
+	// (app, ways) point; job (i, w) writes slot i*ways + (w-1).
 	type sweep struct {
 		name string
 		ipc  []float64
 	}
 	sweeps := make([]sweep, len(names))
-	errs := make([]error, len(names))
-	sem := make(chan struct{}, s.workers())
-	done := make(chan int)
+	arena := make([]float64, len(names)*ways)
 	for i, name := range names {
-		go func(i int, name string) {
-			sem <- struct{}{}
-			defer func() { <-sem; done <- i }()
-			ipc := make([]float64, ways)
-			for w := 1; w <= ways; w++ {
-				v, err := s.AloneIPCWays(name, w)
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				ipc[w-1] = v
-			}
-			sweeps[i] = sweep{name: name, ipc: ipc}
-		}(i, name)
+		sweeps[i] = sweep{name: name, ipc: arena[i*ways : (i+1)*ways]}
 	}
-	for range names {
-		<-done
-	}
-	for _, err := range errs {
+	if err := s.execute(len(names)*ways, func(j int) error {
+		i, w := j/ways, j%ways+1
+		v, err := s.AloneIPCWays(names[i], w)
 		if err != nil {
-			return Figure2Result{}, err
+			return err
 		}
+		sweeps[i].ipc[w-1] = v
+		return nil
+	}); err != nil {
+		return Figure2Result{}, err
 	}
 
 	for _, sw := range sweeps {
@@ -171,28 +160,16 @@ func (s *Suite) Figure3(hp, be string, beCount int) (Figure3Result, error) {
 		slowdown float64
 	}
 	points := make([]point, ways-1)
-	errs := make([]error, ways-1)
-	sem := make(chan struct{}, s.workers())
-	done := make(chan struct{})
-	for hw := 1; hw <= ways-1; hw++ {
-		go func(hw int) {
-			sem <- struct{}{}
-			defer func() { <-sem; done <- struct{}{} }()
-			r, err := s.StaticRun(w, hw, s.cfg.HorizonPeriods)
-			if err != nil {
-				errs[hw-1] = err
-				return
-			}
-			points[hw-1] = point{hpWays: hw, slowdown: r.HPSlowdown()}
-		}(hw)
-	}
-	for i := 1; i <= ways-1; i++ {
-		<-done
-	}
-	for _, err := range errs {
+	if err := s.execute(ways-1, func(i int) error {
+		hw := i + 1
+		r, err := s.StaticRun(w, hw, s.cfg.HorizonPeriods)
 		if err != nil {
-			return Figure3Result{}, err
+			return err
 		}
+		points[i] = point{hpWays: hw, slowdown: r.HPSlowdown()}
+		return nil
+	}); err != nil {
+		return Figure3Result{}, err
 	}
 
 	for _, p := range points {

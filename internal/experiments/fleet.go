@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"dicer/internal/chaos"
 	"dicer/internal/fleet"
@@ -81,43 +80,30 @@ func (s *Suite) FleetSuite(fc FleetConfig) ([]FleetCell, error) {
 		}
 	}
 
-	errs := make([]error, len(cells))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, s.workers())
-	for i := range cells {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cell := &cells[i]
-			c, err := fleet.New(fleet.Config{
-				Nodes:          fc.Nodes,
-				Machine:        s.cfg.Machine,
-				Policy:         string(cell.Policy),
-				DICER:          s.cfg.DICER,
-				SLO:            fc.SLO,
-				PeriodSec:      s.cfg.PeriodSec,
-				StepsPerPeriod: s.cfg.StepsPerPeriod,
-				HorizonPeriods: fc.HorizonPeriods,
-				Arrivals:       fc.Arrivals,
-				Scheduler:      cell.Scheduler,
-				QueueCap:       fc.QueueCap,
-				NodeChaos:      fc.NodeChaos,
-				AloneIPC:       s.AloneIPC,
-			})
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			cell.Result, errs[i] = c.Run()
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	if err := s.execute(len(cells), func(i int) error {
+		cell := &cells[i]
+		c, err := fleet.New(fleet.Config{
+			Nodes:          fc.Nodes,
+			Machine:        s.cfg.Machine,
+			Policy:         string(cell.Policy),
+			DICER:          s.cfg.DICER,
+			SLO:            fc.SLO,
+			PeriodSec:      s.cfg.PeriodSec,
+			StepsPerPeriod: s.cfg.StepsPerPeriod,
+			HorizonPeriods: fc.HorizonPeriods,
+			Arrivals:       fc.Arrivals,
+			Scheduler:      cell.Scheduler,
+			QueueCap:       fc.QueueCap,
+			NodeChaos:      fc.NodeChaos,
+			AloneIPC:       s.AloneIPC,
+		})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		cell.Result, err = c.Run()
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	return cells, nil
 }

@@ -300,11 +300,12 @@ func (s *Suite) runExtensionVariant(w Workload, vi int) (hpNorm, efu float64, er
 	if err != nil {
 		return 0, 0, err
 	}
-	r, err := s.getRunner(2)
+	c, err := s.getCtx(2)
 	if err != nil {
 		return 0, 0, err
 	}
-	defer s.putRunner(r)
+	defer s.putCtx(c)
+	r := c.r
 	if err := r.Attach(0, policy.HPClos, hpProf); err != nil {
 		return 0, 0, err
 	}
@@ -313,6 +314,7 @@ func (s *Suite) runExtensionVariant(w Workload, vi int) (hpNorm, efu float64, er
 			return 0, 0, err
 		}
 	}
+	// The pooled emulation is built without MBA; variants need it.
 	emu := resctrl.NewEmu(r, true)
 
 	var pol policy.Policy

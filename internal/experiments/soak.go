@@ -108,9 +108,11 @@ func (r *SoakResult) Table() *report.Table {
 	return t
 }
 
-// Soak runs the full matrix. It fails fast on the first invariant
-// violation or degradation-bound breach — the returned error names the
-// (workload, schedule, seed) cell so the failure replays exactly.
+// Soak runs the full matrix across the suite executor. Every cell runs
+// regardless of failures elsewhere in the matrix; the returned error is
+// the lowest-indexed failing cell in (workload, schedule, seed) order
+// and names the cell so the failure replays exactly — the same cell the
+// old fail-fast serial loop would have reported, for any worker count.
 func (s *Suite) Soak(cfg SoakConfig) (*SoakResult, error) {
 	cfg.defaults()
 	res := &SoakResult{MaxHPDegradation: cfg.MaxHPDegradation}
@@ -120,39 +122,74 @@ func (s *Suite) Soak(cfg SoakConfig) (*SoakResult, error) {
 		}
 		return cfg.Trace(w, schedule, seed)
 	}
-	for _, w := range cfg.Workloads {
-		baseline, err := s.soakRun(w, chaos.Config{Name: "none"}, 0, cfg.HorizonPeriods,
+
+	// Fault-free baselines, one per workload, in parallel.
+	baselines := make([]SoakRun, len(cfg.Workloads))
+	if err := s.execute(len(cfg.Workloads), func(i int) error {
+		w := cfg.Workloads[i]
+		b, err := s.soakRun(w, chaos.Config{Name: "none"}, 0, cfg.HorizonPeriods,
 			sinkFor(w, "none", 0))
 		if err != nil {
-			return nil, fmt.Errorf("soak %s fault-free: %w", w, err)
+			return fmt.Errorf("soak %s fault-free: %w", w, err)
 		}
+		baselines[i] = b
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// The chaos matrix, one cell per (workload, schedule, seed), written
+	// into index-addressed slots so Runs keeps configuration order.
+	type soakCell struct {
+		w     Workload
+		sched chaos.Config
+		seed  int64
+		base  float64
+	}
+	cells := make([]soakCell, 0, len(cfg.Workloads)*len(cfg.Schedules)*len(cfg.Seeds))
+	for i, w := range cfg.Workloads {
 		for _, sched := range cfg.Schedules {
 			for _, seed := range cfg.Seeds {
-				run, err := s.soakRun(w, sched, seed, cfg.HorizonPeriods,
-					sinkFor(w, sched.Name, seed))
-				if err != nil {
-					return nil, fmt.Errorf("soak %s schedule %q seed %d: %w",
-						w, sched.Name, seed, err)
-				}
-				run.FaultFreeHPIPC = baseline.HPIPC
-				if baseline.HPIPC > 0 {
-					run.Degradation = 1 - run.HPIPC/baseline.HPIPC
-					if run.Degradation < 0 {
-						run.Degradation = 0
-					}
-				}
-				if run.Degradation > cfg.MaxHPDegradation {
-					return res, fmt.Errorf(
-						"soak %s schedule %q seed %d: HP degradation %.1f%% exceeds bound %.1f%% (chaos IPC %.3f vs fault-free %.3f)",
-						w, sched.Name, seed, run.Degradation*100, cfg.MaxHPDegradation*100,
-						run.HPIPC, baseline.HPIPC)
-				}
-				if run.Degradation > res.MaxDegradation {
-					res.MaxDegradation = run.Degradation
-				}
-				res.Runs = append(res.Runs, run)
+				cells = append(cells, soakCell{w: w, sched: sched, seed: seed, base: baselines[i].HPIPC})
 			}
 		}
+	}
+	runs := make([]SoakRun, len(cells))
+	if err := s.execute(len(cells), func(i int) error {
+		c := cells[i]
+		run, err := s.soakRun(c.w, c.sched, c.seed, cfg.HorizonPeriods,
+			sinkFor(c.w, c.sched.Name, c.seed))
+		if err != nil {
+			return fmt.Errorf("soak %s schedule %q seed %d: %w",
+				c.w, c.sched.Name, c.seed, err)
+		}
+		run.FaultFreeHPIPC = c.base
+		if c.base > 0 {
+			run.Degradation = 1 - run.HPIPC/c.base
+			if run.Degradation < 0 {
+				run.Degradation = 0
+			}
+		}
+		runs[i] = run
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Degradation bound, checked in configuration order: the first
+	// breach reported is deterministic for any worker count.
+	for i, run := range runs {
+		if run.Degradation > cfg.MaxHPDegradation {
+			c := cells[i]
+			return res, fmt.Errorf(
+				"soak %s schedule %q seed %d: HP degradation %.1f%% exceeds bound %.1f%% (chaos IPC %.3f vs fault-free %.3f)",
+				c.w, c.sched.Name, c.seed, run.Degradation*100, cfg.MaxHPDegradation*100,
+				run.HPIPC, run.FaultFreeHPIPC)
+		}
+		if run.Degradation > res.MaxDegradation {
+			res.MaxDegradation = run.Degradation
+		}
+		res.Runs = append(res.Runs, run)
 	}
 	return res, nil
 }
@@ -169,11 +206,12 @@ func (s *Suite) soakRun(w Workload, sched chaos.Config, seed int64, horizon int,
 	if err != nil {
 		return SoakRun{}, err
 	}
-	r, err := s.getRunner(2)
+	c, err := s.getCtx(2)
 	if err != nil {
 		return SoakRun{}, err
 	}
-	defer s.putRunner(r)
+	defer s.putCtx(c)
+	r := c.r
 	if err := r.Attach(0, policy.HPClos, hpProf); err != nil {
 		return SoakRun{}, err
 	}
@@ -183,7 +221,7 @@ func (s *Suite) soakRun(w Workload, sched chaos.Config, seed int64, horizon int,
 		}
 	}
 
-	sys := chaos.New(resctrl.NewEmu(r, false), sched, seed)
+	sys := chaos.New(c.emu, sched, seed)
 	ctl, err := core.New(s.cfg.DICER)
 	if err != nil {
 		return SoakRun{}, err

@@ -3,7 +3,6 @@ package hypo
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"dicer/internal/chaos"
 	"dicer/internal/core"
@@ -230,9 +229,10 @@ func (r *Runner) runConfig(cfg Config, seeds []int64, metrics []Metric) ([]Metri
 	return out, nil
 }
 
-// runFleet executes one cluster per seed, in parallel, extracting the
-// requested metrics. Alone-run references resolve through the suite's
-// singleflight memo.
+// runFleet executes one cluster per seed across the experiments
+// executor (results land in seed order regardless of worker count),
+// extracting the requested metrics. Alone-run references resolve
+// through the suite's singleflight memo.
 func (r *Runner) runFleet(spec FleetSpec, seeds []int64, metrics []Metric) ([][]float64, error) {
 	scfg := r.Suite.Config()
 	nodes, horizon, qcap := spec.Nodes, spec.HorizonPeriods, spec.QueueCap
@@ -251,48 +251,34 @@ func (r *Runner) runFleet(spec FleetSpec, seeds []int64, metrics []Metric) ([][]
 	}
 
 	out := make([][]float64, len(seeds))
-	errs := make([]error, len(seeds))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, r.workers())
-	for i, seed := range seeds {
-		wg.Add(1)
-		go func(i int, seed int64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			arr := spec.Arrivals
-			arr.Seed = seed
-			c, err := fleet.New(fleet.Config{
-				Nodes:          nodes,
-				Machine:        scfg.Machine,
-				Policy:         string(spec.Policy),
-				DICER:          dicer,
-				PeriodSec:      scfg.PeriodSec,
-				StepsPerPeriod: scfg.StepsPerPeriod,
-				HorizonPeriods: horizon,
-				Arrivals:       arr,
-				Scheduler:      spec.Scheduler,
-				SchedSeed:      seed,
-				QueueCap:       qcap,
-				AloneIPC:       r.Suite.AloneIPC,
-			})
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			fres, err := c.Run()
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			out[i], errs[i] = extractFleet(fres, metrics)
-		}(i, seed)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	if err := experiments.Execute(len(seeds), r.workers(), func(i int) error {
+		arr := spec.Arrivals
+		arr.Seed = seeds[i]
+		c, err := fleet.New(fleet.Config{
+			Nodes:          nodes,
+			Machine:        scfg.Machine,
+			Policy:         string(spec.Policy),
+			DICER:          dicer,
+			PeriodSec:      scfg.PeriodSec,
+			StepsPerPeriod: scfg.StepsPerPeriod,
+			HorizonPeriods: horizon,
+			Arrivals:       arr,
+			Scheduler:      spec.Scheduler,
+			SchedSeed:      seeds[i],
+			QueueCap:       qcap,
+			AloneIPC:       r.Suite.AloneIPC,
+		})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		fres, err := c.Run()
+		if err != nil {
+			return err
+		}
+		out[i], err = extractFleet(fres, metrics)
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -95,8 +95,10 @@ func (m Machine) CoLocFactor(otherActive int) float64 {
 	return 1 + m.CoLocCPIPenalty*float64(otherActive)/float64(m.Cores-1)
 }
 
-// CyclesPerSecond returns core cycles per second.
-func (m Machine) CyclesPerSecond() float64 { return m.FreqGHz * 1e9 }
+// CyclesPerSecond returns core cycles per second. Pointer receiver: the
+// per-step hot loops call it through *Machine, and a value receiver would
+// copy the whole struct on every call.
+func (m *Machine) CyclesPerSecond() float64 { return m.FreqGHz * 1e9 }
 
 // FullMask returns the CBM selecting every LLC way.
 func (m Machine) FullMask() uint64 {

@@ -78,10 +78,20 @@ type System interface {
 	Counters() Counters
 }
 
+// CountersReader is an optional System extension: implementations fill a
+// caller-owned Counters in place, reusing its slices, instead of
+// allocating a fresh reading per call. Meter prefers it when available,
+// which keeps per-period sampling allocation-free on the simulator-backed
+// substrate. The filled Counters aliases no implementation-owned state.
+type CountersReader interface {
+	CountersInto(*Counters)
+}
+
 // Emu implements System over the discrete-time simulator.
 type Emu struct {
 	r      *sim.Runner
 	hasMBA bool
+	snap   sim.Snapshot // scratch reused by CountersInto
 }
 
 // NewEmu wraps a simulator runner. withMBA controls whether SetMBACap is
@@ -132,9 +142,21 @@ func (e *Emu) CoreParked(core int) bool { return e.r.CoreParked(core) }
 
 // Counters implements System.
 func (e *Emu) Counters() Counters {
-	snap := e.r.Snapshot()
-	out := Counters{Time: snap.Time}
-	for _, c := range snap.Cores {
+	var out Counters
+	e.CountersInto(&out)
+	return out
+}
+
+// CountersInto implements CountersReader: it fills out with a fresh
+// reading, reusing out's slices when their capacity suffices. The
+// simulator snapshot behind it is Emu-owned scratch; the filled Counters
+// shares nothing with it.
+func (e *Emu) CountersInto(out *Counters) {
+	e.r.SnapshotInto(&e.snap)
+	out.Time = e.snap.Time
+	out.Cores = out.Cores[:0]
+	out.Groups = out.Groups[:0]
+	for _, c := range e.snap.Cores {
 		out.Cores = append(out.Cores, CoreSample{
 			Core:         c.Core,
 			Clos:         c.Clos,
@@ -143,7 +165,7 @@ func (e *Emu) Counters() Counters {
 			Cycles:       c.Cycles,
 		})
 	}
-	for _, g := range snap.Clos {
+	for _, g := range e.snap.Clos {
 		out.Groups = append(out.Groups, GroupSample{
 			Clos:           g.Clos,
 			CBM:            g.Mask,
@@ -151,7 +173,9 @@ func (e *Emu) Counters() Counters {
 			MemBytes:       g.MemBytes,
 		})
 	}
-	return out
 }
 
-var _ System = (*Emu)(nil)
+var (
+	_ System         = (*Emu)(nil)
+	_ CountersReader = (*Emu)(nil)
+)

@@ -70,7 +70,7 @@ func (r *Runner) referenceSolveShares() {
 			r.pressure[i] = 0
 			continue
 		}
-		r.pressure[i] = touchPressure(r.m, s.proc, reach[i], bf)
+		r.pressure[i] = touchPressure(&r.m, s.proc, reach[i], bf)
 		// The most capacity a process can ever make use of: its resident
 		// demand when offered everything it can reach. Streaming traffic
 		// churns, so OccupancyDemand returns the full offer for apps with
@@ -112,7 +112,7 @@ func (r *Runner) referenceSolveShares() {
 			if s.parked {
 				continue
 			}
-			p := touchPressure(r.m, s.proc, r.shares[i], bf)
+			p := touchPressure(&r.m, s.proc, r.shares[i], bf)
 			r.pressure[i] = 0.5*r.pressure[i] + 0.5*p
 		}
 	}

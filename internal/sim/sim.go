@@ -99,6 +99,7 @@ type Runner struct {
 	regionCnt []int
 	thrVal    []float64 // per-CLOS throttle memo within one demand eval
 	thrSet    []bool
+	occBuf    []float64 // per-CLOS occupancy accumulator for SnapshotInto
 
 	// demandFn is the bandwidth-demand closure handed to membw.Link.Solve,
 	// bound once at construction so Step allocates nothing.
@@ -460,7 +461,7 @@ func (r *Runner) solveSharesFull() {
 			r.capsBuf[i] = 0
 			continue
 		}
-		r.pressure[i] = touchPressure(r.m, s.proc, r.reach[i], bf)
+		r.pressure[i] = touchPressure(&r.m, s.proc, r.reach[i], bf)
 		// The most capacity a process can ever make use of: its resident
 		// demand when offered everything it can reach. Streaming traffic
 		// churns, so OccupancyDemand returns the full offer for apps with
@@ -501,7 +502,7 @@ func (r *Runner) solveSharesFull() {
 			if s.parked {
 				continue
 			}
-			p := touchPressure(r.m, s.proc, r.shares[i], bf)
+			p := touchPressure(&r.m, s.proc, r.shares[i], bf)
 			r.pressure[i] = 0.5*r.pressure[i] + 0.5*p
 		}
 	}
@@ -565,9 +566,9 @@ func waterfill(capacity float64, weights, caps []float64, active []int, alloc []
 // misses insert lines, so retention competition follows total access
 // intensity), evaluated at unit latency inflation — the share solve is
 // about cache geometry, not transient bandwidth state.
-func touchPressure(m machine.Machine, pr *app.Proc, capacity, baseFactor float64) float64 {
-	ph := pr.Phase()
-	perf := app.PhasePerfMiss(m, ph, ph.Curve.MissRatio(capacity), 1, baseFactor)
+func touchPressure(m *machine.Machine, pr *app.Proc, capacity, baseFactor float64) float64 {
+	ph := pr.PhaseRef()
+	perf := app.PhasePerfMissRef(m, ph, ph.Curve.MissRatio(capacity), 1, baseFactor)
 	return perf.IPC * m.CyclesPerSecond() * ph.APKI / 1000
 }
 
@@ -577,7 +578,7 @@ func touchPressure(m machine.Machine, pr *app.Proc, capacity, baseFactor float64
 // term for term.
 func (r *Runner) procGbps(i int, inflation float64) float64 {
 	s := r.procs[i]
-	perf := app.PhasePerfMiss(r.m, s.proc.Phase(), r.opMiss[i], inflation, r.curBF)
+	perf := app.PhasePerfMissRef(&r.m, s.proc.PhaseRef(), r.opMiss[i], inflation, r.curBF)
 	return membw.BytesToGbps(perf.BytesPerSec, 1)
 }
 
@@ -677,7 +678,7 @@ func (r *Runner) Step(dt float64) {
 		}
 		t := r.throttles[s.clos]
 		before := s.proc.MemBytes
-		s.proc.AdvanceMiss(r.m, r.shares[i], r.opMiss[i], inflation*t, r.curBF, dt)
+		s.proc.AdvanceMissRef(&r.m, r.shares[i], r.opMiss[i], inflation*t, r.curBF, dt)
 		r.closBytes[s.clos] += s.proc.MemBytes - before
 	}
 	r.time += dt
@@ -738,16 +739,34 @@ type Snapshot struct {
 // estimate for the current allocation: the sum over the CLOS's processes
 // of the bytes they keep resident in their current share.
 func (r *Runner) Snapshot() Snapshot {
-	snap := Snapshot{Time: r.time}
+	var snap Snapshot
+	r.SnapshotInto(&snap)
+	return snap
+}
+
+// SnapshotInto fills snap with the current counters, reusing snap's Cores
+// and Clos slices when their capacity suffices. Per-period monitoring
+// (resctrl.Meter via Emu) calls this with a reused snapshot so sampling
+// performs no allocation in steady state. The occupancy estimate is
+// identical to Snapshot's: each unparked process keeps
+// min(OccupancyDemand(share), share) bytes resident — the performance
+// model's other outputs do not enter the snapshot, so no Perf evaluation
+// is needed.
+func (r *Runner) SnapshotInto(snap *Snapshot) {
+	snap.Time = r.time
 	if len(r.procs) > 0 {
 		r.solveShares()
 	}
-	occ := make([]float64, len(r.masks))
-	bf := r.coLocFactor()
+	occ := growF64(r.occBuf, len(r.masks))
+	r.occBuf = occ
+	for c := range occ {
+		occ[c] = 0
+	}
+	snap.Cores = snap.Cores[:0]
+	snap.Clos = snap.Clos[:0]
 	for i, s := range r.procs {
 		if !s.parked {
-			perf := s.proc.Perf(r.m, r.shares[i], r.lastInflationOr1(), bf)
-			o := perf.OccupancyB
+			o := s.proc.PhaseRef().Curve.OccupancyDemand(r.shares[i])
 			if o > r.shares[i] {
 				o = r.shares[i]
 			}
@@ -770,14 +789,6 @@ func (r *Runner) Snapshot() Snapshot {
 			Mask:           r.masks[c],
 		})
 	}
-	return snap
-}
-
-func (r *Runner) lastInflationOr1() float64 {
-	if r.lastInflation < 1 {
-		return 1
-	}
-	return r.lastInflation
 }
 
 // grow helpers: reslice when capacity suffices, reallocate otherwise.

@@ -395,7 +395,8 @@ func TestMaskChangeMidRunChangesPerformance(t *testing.T) {
 	}
 	before := r.Proc(0).Instructions
 	r.Step(1)
-	ipcAfter := (r.Proc(0).Instructions - before) / (1 * testMachine().CyclesPerSecond())
+	tm := testMachine()
+	ipcAfter := (r.Proc(0).Instructions - before) / (1 * tm.CyclesPerSecond())
 	if ipcAfter <= ipcSqueezed*1.2 {
 		t.Fatalf("10 ways should be much faster than 1: %g vs %g", ipcAfter, ipcSqueezed)
 	}
