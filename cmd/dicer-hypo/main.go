@@ -97,6 +97,11 @@ func applyOverrides(h hypo.Hypothesis, opts options) hypo.Hypothesis {
 				s.HorizonPeriods = opts.periods
 				c.Soak = &s
 			}
+			if c.MultiHP != nil {
+				m := *c.MultiHP
+				m.HorizonPeriods = opts.periods
+				c.MultiHP = &m
+			}
 			configs[i] = c
 		}
 		h.Configs = configs

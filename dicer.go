@@ -35,6 +35,7 @@ import (
 	"dicer/internal/app"
 	"dicer/internal/cache"
 	"dicer/internal/chaos"
+	"dicer/internal/cluster"
 	"dicer/internal/core"
 	"dicer/internal/diag"
 	"dicer/internal/experiments"
@@ -198,6 +199,41 @@ type (
 	// HypoVerdict is one comparison's judged outcome (CI, effect size,
 	// status, seed-widening trajectory).
 	HypoVerdict = hypo.Verdict
+	// MultiController is the multi-HP DICER controller: per-CLOS-group
+	// DICER state machines over an LFOC-style clustering plan, under a
+	// fixed CLOS budget (ROADMAP item 2).
+	MultiController = core.MultiController
+	// MultiControllerConfig holds the multi-HP controller's tunables:
+	// the per-group DICER config plus the clustering policy knobs.
+	MultiControllerConfig = core.MultiConfig
+	// GroupControllerEvent is one traced per-group controller decision.
+	GroupControllerEvent = core.GroupEvent
+	// ClusterConfig bounds an LFOC-style clustering run.
+	ClusterConfig = cluster.Config
+	// ClusterSpec describes one HP application to the clustering policy.
+	ClusterSpec = cluster.AppSpec
+	// ClusterPlan is a complete grouping decision.
+	ClusterPlan = cluster.Plan
+	// TraceGroupRecord is one CLOS group's slice of a dicer-trace/v2
+	// record.
+	TraceGroupRecord = obs.GroupRecord
+)
+
+// Grouping policies for MultiScenario and MultiControllerConfig.
+const (
+	// GroupingClustered packs similar-sensitivity apps into shared CLOS
+	// groups (LFOC-style; the default).
+	GroupingClustered = core.GroupingClustered
+	// GroupingPerApp gives every HP app its own CLOS (infeasible beyond
+	// the budget; the baseline clustering is judged against).
+	GroupingPerApp = core.GroupingPerApp
+	// GroupingSpill is the naive fallback when apps outnumber CLOS ids:
+	// per-app groups until the ids run out, overflow shares the last
+	// group, ways dealt evenly.
+	GroupingSpill = core.GroupingSpill
+	// GroupingSingle stretches the legacy single-HP topology over all
+	// apps: one shared HP group.
+	GroupingSingle = core.GroupingSingle
 )
 
 // ErrChaosInjected marks errors caused by an injected fault; harnesses
@@ -234,6 +270,21 @@ func NewDICER() *Controller { return core.MustNew(core.DefaultConfig()) }
 
 // NewDICERWith builds a DICER controller with a custom configuration.
 func NewDICERWith(cfg ControllerConfig) (*Controller, error) { return core.New(cfg) }
+
+// NewMultiDICER builds a multi-HP DICER controller: one DICER state
+// machine per CLOS group over a clustering plan for specs. MultiScenario
+// wires one up end to end; use this directly to drive real hardware.
+func NewMultiDICER(cfg MultiControllerConfig, specs []ClusterSpec) (*MultiController, error) {
+	return core.NewMulti(cfg, specs)
+}
+
+// ClusterAssign computes the LFOC-style clustered plan: apps ordered by
+// cache sensitivity, split at the largest sensitivity gaps while splits
+// keep the predicted max penalty from growing, ways distributed by
+// demand.
+func ClusterAssign(cfg ClusterConfig, specs []ClusterSpec) (ClusterPlan, error) {
+	return cluster.Assign(cfg, specs)
+}
 
 // RegisteredHypotheses returns the repo's standing performance claims as
 // executable hypotheses (see cmd/dicer-hypo and DESIGN.md "Hypothesis

@@ -26,6 +26,7 @@ func TestExamplesSmoke(t *testing.T) {
 		"consolidation": {"-periods", "20"},
 		"phases":        {"-periods", "20"},
 		"extensions":    {"-periods", "20"},
+		"multihp":       {"-periods", "20"},
 		"resctrlfs":     {"-seconds", "2"},
 	}
 	ran := 0

@@ -199,6 +199,14 @@ func (pr *Proc) PhaseRef() *Phase { return &pr.Profile.Phases[pr.phase] }
 // PhaseIndex returns the index of the current phase.
 func (pr *Proc) PhaseIndex() int { return pr.phase }
 
+// PhaseProgress returns the fraction of the current phase's instruction
+// budget already retired, in [0,1). Phase-hint consumers (the multi-HP
+// re-clustering policy) use it to expose the *next* phase's cache
+// behaviour shortly before the boundary, Com-CAS style.
+func (pr *Proc) PhaseProgress() float64 {
+	return pr.phaseInstr / pr.Profile.Phases[pr.phase].Instructions
+}
+
 // Perf evaluates the instantaneous performance of the current phase.
 func (pr *Proc) Perf(m machine.Machine, cacheBytes, inflation, baseFactor float64) Perf {
 	return PhasePerf(m, pr.Phase(), cacheBytes, inflation, baseFactor)

@@ -25,7 +25,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"dicer/internal/policy"
 	"dicer/internal/resctrl"
@@ -190,42 +189,22 @@ type Event struct {
 	TotalBW float64
 }
 
-// Controller is the DICER state machine. It implements policy.Policy.
+// Controller is the single-HP DICER state machine. It implements
+// policy.Policy by running exactly one groupState (group.go) over the
+// whole HP/BE split — the same state machine MultiController runs once
+// per cluster group.
 type Controller struct {
 	cfg Config
 
 	// Trace, when non-nil, receives one Event per decision.
 	Trace func(Event)
 
-	period     int
-	st         state
-	ctFavoured bool
-	curHP      int // HP ways currently enforced
+	period int
+	g      groupState
 
-	// Best-known allocation for CT-T workloads (Listing 1's
-	// optimal_allocation and IPC_opt).
-	optimalHP int
-	ipcOpt    float64
-
-	// IPC of the previous monitoring period (Eq. 3's IPC_{t-1}).
-	prevIPC  float64
-	havePrev bool
-
-	// HP bandwidth history for phase detection (Eq. 2). A fixed ring
-	// buffer keeps Observe allocation-free on the hot path (the alloc
-	// guard in alloc_test.go pins this down).
-	bwHist [3]float64
-	bwLen  int // valid entries in bwHist (0..3)
-	bwPos  int // next write position
-
-	// Sampling bookkeeping.
-	sampleHP int
-	bestHP   int
-	bestIPC  float64
-
-	// Reset bookkeeping (Listing 3).
-	rollbackHP      int
-	resetTriggerIPC float64
+	// sys is the system being actuated, valid for the duration of a
+	// Setup/Observe call (the groupHost callbacks need it).
+	sys resctrl.System
 }
 
 // New creates a DICER controller with the given configuration.
@@ -252,7 +231,7 @@ func (c *Controller) Name() string { return "DICER" }
 func (c *Controller) Config() Config { return c.cfg }
 
 // HPWays returns the HP way count currently enforced.
-func (c *Controller) HPWays() int { return c.curHP }
+func (c *Controller) HPWays() int { return c.g.cur }
 
 // Period returns the number of monitoring periods observed since Setup.
 // It increments by exactly one per Observe call — the invariant checker
@@ -261,10 +240,10 @@ func (c *Controller) Period() int { return c.period }
 
 // CTFavoured reports whether the controller still assumes the workload is
 // CT-Favoured (no bandwidth saturation observed so far).
-func (c *Controller) CTFavoured() bool { return c.ctFavoured }
+func (c *Controller) CTFavoured() bool { return c.g.ctFavoured }
 
 // State returns the controller state name, for reporting.
-func (c *Controller) State() string { return c.st.String() }
+func (c *Controller) State() string { return c.g.st.String() }
 
 // Setup implements policy.Policy: DICER begins exactly like CT, assuming a
 // CT-Favoured workload (Listing 1's initialisation).
@@ -275,15 +254,9 @@ func (c *Controller) Setup(sys resctrl.System) error {
 			total, c.cfg.MinHPWays, c.cfg.MinBEWays)
 	}
 	c.period = 0
-	c.st = stOptimise
-	c.ctFavoured = true
-	c.curHP = total - c.cfg.MinBEWays
-	c.optimalHP = c.curHP
-	c.ipcOpt = 0
-	c.prevIPC = 0
-	c.havePrev = false
-	c.clearBW()
-	return policy.SplitWays(sys, c.curHP)
+	c.g.init(&c.cfg, 0, c.cfg.MinHPWays, total-c.cfg.MinBEWays)
+	c.sys = sys
+	return c.applyGroup(&c.g)
 }
 
 // Observe implements policy.Policy: one invocation per monitoring period,
@@ -291,187 +264,11 @@ func (c *Controller) Setup(sys resctrl.System) error {
 // loop body.
 func (c *Controller) Observe(sys resctrl.System, p resctrl.Period) error {
 	c.period++
+	c.sys = sys
 	hpIPC := p.ClosMeanIPC(policy.HPClos)
 	hpBW := p.GroupBW(policy.HPClos)
 	saturated := p.TotalGbps > c.cfg.BWThresholdGbps && !c.cfg.DisableSaturationHandling
-
-	switch c.st {
-	case stSampling:
-		return c.observeSampling(sys, hpIPC, p.TotalGbps)
-	case stValidate:
-		return c.observeValidate(sys, hpIPC, p.TotalGbps, saturated)
-	default:
-		return c.observeOptimise(sys, hpIPC, hpBW, p.TotalGbps, saturated)
-	}
-}
-
-// observeOptimise is Listing 2 plus Listing 1's saturation check.
-func (c *Controller) observeOptimise(sys resctrl.System, hpIPC, hpBW, totalBW float64, saturated bool) error {
-	if saturated {
-		c.emit(EventSaturated, hpIPC, totalBW)
-		return c.startSampling(sys, hpIPC, totalBW)
-	}
-
-	phase := c.phaseChange(hpBW) && !c.cfg.DisablePhaseDetection
-	c.pushBW(hpBW)
-	if phase {
-		c.emit(EventPhaseChange, hpIPC, totalBW)
-		return c.reset(sys, hpIPC, totalBW)
-	}
-
-	if !c.havePrev {
-		c.prevIPC = hpIPC
-		c.havePrev = true
-		c.emit(EventHold, hpIPC, totalBW)
-		return nil
-	}
-
-	lo := (1 - c.cfg.StabilityAlpha) * c.prevIPC
-	hi := (1 + c.cfg.StabilityAlpha) * c.prevIPC
-	switch {
-	case hpIPC >= lo && hpIPC <= hi:
-		// Stable (Eq. 3): the allocation exceeds HP's needs; shift one way
-		// to the BEs to raise utilisation.
-		c.prevIPC = hpIPC
-		if c.curHP > c.cfg.MinHPWays {
-			c.curHP--
-			c.emit(EventShrink, hpIPC, totalBW)
-			return policy.SplitWays(sys, c.curHP)
-		}
-		c.emit(EventHold, hpIPC, totalBW)
-		return nil
-	case hpIPC > hi:
-		// Better: a faster phase with the same cache needs; hold.
-		c.prevIPC = hpIPC
-		c.emit(EventHold, hpIPC, totalBW)
-		return nil
-	default:
-		// Worse: either the shrinking went too far or a slower phase
-		// began; Listing 2 resets in both cases.
-		c.emit(EventReset, hpIPC, totalBW)
-		return c.reset(sys, hpIPC, totalBW)
-	}
-}
-
-// phaseChange evaluates Eq. 2 against the previous three periods.
-func (c *Controller) phaseChange(hpBW float64) bool {
-	if c.bwLen < 3 {
-		return false
-	}
-	g := math.Cbrt(c.bwHist[0] * c.bwHist[1] * c.bwHist[2])
-	return hpBW > (1+c.cfg.PhaseThreshold)*g
-}
-
-func (c *Controller) pushBW(bw float64) {
-	c.bwHist[c.bwPos] = bw
-	c.bwPos = (c.bwPos + 1) % len(c.bwHist)
-	if c.bwLen < len(c.bwHist) {
-		c.bwLen++
-	}
-}
-
-// clearBW empties the bandwidth history (after allocation changes, old
-// readings would fake a phase change).
-func (c *Controller) clearBW() {
-	c.bwLen = 0
-	c.bwPos = 0
-}
-
-// startSampling begins Listing 1's allocation_sampling. The current
-// period's reading becomes the first sample (it measured curHP ways).
-func (c *Controller) startSampling(sys resctrl.System, hpIPC, totalBW float64) error {
-	c.ctFavoured = false
-	c.st = stSampling
-	c.bestHP = c.curHP
-	c.bestIPC = hpIPC
-	c.sampleHP = c.curHP
-	return c.applyNextSample(sys, hpIPC, totalBW)
-}
-
-// observeSampling records the sample measured over the elapsed period and
-// applies the next one, or enforces the optimum when done.
-func (c *Controller) observeSampling(sys resctrl.System, hpIPC, totalBW float64) error {
-	if hpIPC > c.bestIPC {
-		c.bestIPC = hpIPC
-		c.bestHP = c.sampleHP
-	}
-	return c.applyNextSample(sys, hpIPC, totalBW)
-}
-
-// applyNextSample steps the sampled allocation down, or finishes sampling.
-func (c *Controller) applyNextSample(sys resctrl.System, hpIPC, totalBW float64) error {
-	next := c.sampleHP - c.cfg.SampleStep
-	if next >= c.cfg.MinHPWays {
-		c.sampleHP = next
-		c.curHP = next
-		c.emit(EventSample, hpIPC, totalBW)
-		return policy.SplitWays(sys, next)
-	}
-	// Sampling complete: enforce optimal_allocation and restart the
-	// optimisation from there (Listing 1: allocation_sampling).
-	c.optimalHP = c.bestHP
-	c.ipcOpt = c.bestIPC
-	c.curHP = c.optimalHP
-	c.st = stOptimise
-	c.prevIPC = c.ipcOpt
-	c.havePrev = true
-	c.clearBW()
-	c.emit(EventSampleDone, hpIPC, totalBW)
-	return policy.SplitWays(sys, c.curHP)
-}
-
-// reset applies Listing 3's allocation_reset: re-enforce the best-known
-// allocation and validate it over the next period.
-func (c *Controller) reset(sys resctrl.System, hpIPC, totalBW float64) error {
-	c.rollbackHP = c.curHP
-	c.resetTriggerIPC = hpIPC
-	if c.ctFavoured {
-		c.curHP = sys.NumWays() - c.cfg.MinBEWays
-	} else {
-		c.curHP = c.optimalHP
-	}
-	c.st = stValidate
-	return policy.SplitWays(sys, c.curHP)
-}
-
-// observeValidate is the monitoring period embedded in Listing 3.
-func (c *Controller) observeValidate(sys resctrl.System, hpIPC, totalBW float64, saturated bool) error {
-	if saturated {
-		c.emit(EventSaturated, hpIPC, totalBW)
-		return c.startSampling(sys, hpIPC, totalBW)
-	}
-	if c.ctFavoured {
-		if hpIPC > c.resetTriggerIPC {
-			// The reset helped: the degradation was allocation-induced.
-			c.resumeOptimise(hpIPC)
-			c.emit(EventValidated, hpIPC, totalBW)
-			return nil
-		}
-		// The degradation was a slower phase, not the allocation: revert.
-		c.curHP = c.rollbackHP
-		c.resumeOptimise(hpIPC)
-		c.emit(EventRollback, hpIPC, totalBW)
-		return policy.SplitWays(sys, c.curHP)
-	}
-	// CT-Thwarted: the reverted allocation must reproduce IPC_opt.
-	if hpIPC >= (1-c.cfg.NearOptTolerance)*c.ipcOpt {
-		c.resumeOptimise(hpIPC)
-		c.emit(EventValidated, hpIPC, totalBW)
-		return nil
-	}
-	// The optimum has moved: sample again.
-	c.emit(EventReset, hpIPC, totalBW)
-	return c.startSampling(sys, hpIPC, totalBW)
-}
-
-// resumeOptimise returns to the optimisation state with a fresh IPC
-// baseline and cleared bandwidth history (the allocation just changed, so
-// old bandwidth readings would fake a phase change).
-func (c *Controller) resumeOptimise(hpIPC float64) {
-	c.st = stOptimise
-	c.prevIPC = hpIPC
-	c.havePrev = true
-	c.clearBW()
+	return c.g.observe(c, hpIPC, hpBW, p.TotalGbps, saturated)
 }
 
 // ChainTrace subscribes fn to the controller's decision stream without
@@ -505,19 +302,27 @@ func ControllerOf(p policy.Policy) *Controller {
 	return nil
 }
 
-func (c *Controller) emit(kind EventKind, hpIPC, totalBW float64) {
+// emitGroup implements groupHost: legacy events carry the controller's
+// global period and the group's current allocation as HPWays.
+func (c *Controller) emitGroup(g *groupState, kind EventKind, ipc, totalBW float64) {
 	if c.Trace == nil {
 		return
 	}
 	c.Trace(Event{
 		Period:  c.period,
-		State:   c.st.String(),
+		State:   g.st.String(),
 		Kind:    kind,
 		Cause:   kind.Cause(),
-		HPWays:  c.curHP,
-		HPIPC:   hpIPC,
+		HPWays:  g.cur,
+		HPIPC:   ipc,
 		TotalBW: totalBW,
 	})
+}
+
+// applyGroup implements groupHost: the single group IS the HP partition,
+// so installing it is the classic two-CLOS split.
+func (c *Controller) applyGroup(g *groupState) error {
+	return policy.SplitWays(c.sys, g.cur)
 }
 
 var _ policy.Policy = (*Controller)(nil)

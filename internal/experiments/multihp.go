@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dicer/internal/app"
+	"dicer/internal/cluster"
+	"dicer/internal/core"
+	"dicer/internal/metrics"
+	"dicer/internal/report"
+	"dicer/internal/resctrl"
+	"dicer/internal/sim"
+)
+
+// This file is the multi-HP consolidation harness (ROADMAP item 2): M
+// high-priority applications share one box under a CLOS-id budget, the
+// multi-HP DICER controller partitions the LLC per CLOS group, and the
+// grid compares the LFOC-style clustered plan against the naive
+// baselines (one CLOS per app — infeasible beyond the budget — and one
+// shared group). The fairness metric is the worst per-app slowdown; SLO
+// conformance and Eq. 1 EFU ride along.
+
+// MultiHPSpec describes one multi-HP consolidation run.
+type MultiHPSpec struct {
+	// M is the number of HP applications; BECount the best-effort apps
+	// filling further cores.
+	M       int `json:"m"`
+	BECount int `json:"be_count"`
+	// CLOSBudget is the CLOS-id budget the plan must respect (HP groups
+	// + 1 BE partition).
+	CLOSBudget int `json:"clos_budget"`
+	// Grouping is the plan policy (core.GroupingClustered / PerApp /
+	// Single; empty means clustered).
+	Grouping string `json:"grouping,omitempty"`
+	// SLO is every app's target fraction of alone performance (default
+	// 0.9).
+	SLO float64 `json:"slo,omitempty"`
+	// HorizonPeriods per run; 0 means the suite's sweep horizon.
+	HorizonPeriods int `json:"horizon_periods,omitempty"`
+	// ReclusterEvery re-plans the grouping every N periods (0 = fixed);
+	// UsePhaseHints exposes upcoming-phase curves to those re-plans.
+	ReclusterEvery int  `json:"recluster_every,omitempty"`
+	UsePhaseHints  bool `json:"use_phase_hints,omitempty"`
+	// Seed draws the workload: which catalog applications fill the M HP
+	// slots and the BE cores. The same seed always draws the same
+	// workload.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// MultiHPOutcome summarises one multi-HP run.
+type MultiHPOutcome struct {
+	Policy    string
+	NumGroups int
+	// MaxSlowdown is the worst per-app slowdown (fairness), Conformance
+	// the fraction of HP apps meeting their SLO, EFU Eq. 1 over every
+	// application.
+	MaxSlowdown float64
+	Conformance float64
+	EFU         float64
+	Reclusters  int
+}
+
+// multiHPWorkload draws the spec's workload deterministically from the
+// catalog: a seeded permutation fills the M HP slots, the next entries
+// fill the BE cores.
+func multiHPWorkload(spec MultiHPSpec) (hps, bes []string) {
+	names := app.Names()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	perm := rng.Perm(len(names))
+	hps = make([]string, spec.M)
+	for i := range hps {
+		hps[i] = names[perm[i%len(perm)]]
+	}
+	bes = make([]string, spec.BECount)
+	for i := range bes {
+		bes[i] = names[perm[(spec.M+i)%len(perm)]]
+	}
+	return hps, bes
+}
+
+// RunMultiHP executes one multi-HP consolidation run. The machine is the
+// suite's platform with the core count raised to host M+BECount
+// applications; alone references resolve through the suite's memo (a
+// solo run does not depend on the core count).
+func (s *Suite) RunMultiHP(spec MultiHPSpec) (MultiHPOutcome, error) {
+	if spec.M < 1 {
+		return MultiHPOutcome{}, fmt.Errorf("experiments: multi-HP spec needs M >= 1")
+	}
+	if spec.CLOSBudget < 2 {
+		return MultiHPOutcome{}, fmt.Errorf("experiments: multi-HP spec needs a CLOS budget >= 2")
+	}
+	slo := spec.SLO
+	if slo == 0 {
+		slo = 0.9
+	}
+	horizon := spec.HorizonPeriods
+	if horizon == 0 {
+		horizon = s.cfg.SweepHorizonPeriods
+	}
+	// The platform grows with the consolidation: more cores AND a
+	// proportionally wider memory link (a bigger socket, constant
+	// per-core bandwidth), so the LLC stays the contended resource the
+	// plan is judged on.
+	m := s.cfg.Machine
+	if need := spec.M + spec.BECount; m.Cores < need {
+		m.Link.CapacityGBps *= float64(need) / float64(m.Cores)
+		m.Cores = need
+	}
+
+	hpNames, beNames := multiHPWorkload(spec)
+	r, err := sim.New(m, spec.CLOSBudget)
+	if err != nil {
+		return MultiHPOutcome{}, err
+	}
+	beClos := spec.CLOSBudget - 1
+	procs := make([]*app.Proc, spec.M)
+	specs := make([]cluster.AppSpec, spec.M)
+	for i, name := range hpNames {
+		prof, err := app.ByName(name)
+		if err != nil {
+			return MultiHPOutcome{}, err
+		}
+		if err := r.Attach(i, 0, prof); err != nil {
+			return MultiHPOutcome{}, err
+		}
+		procs[i] = r.Proc(i)
+	}
+	for i, name := range beNames {
+		prof, err := app.ByName(name)
+		if err != nil {
+			return MultiHPOutcome{}, err
+		}
+		if err := r.Attach(spec.M+i, beClos, prof); err != nil {
+			return MultiHPOutcome{}, err
+		}
+	}
+
+	refresh := func() {
+		for i, pr := range procs {
+			ph := pr.PhaseRef()
+			specs[i] = cluster.AppSpec{
+				Name: hpNames[i], Core: i, SLO: slo,
+				Curve: ph.Curve, APKI: ph.APKI,
+			}
+			if spec.UsePhaseHints && len(pr.Profile.Phases) > 1 && pr.PhaseProgress() >= 0.75 {
+				next := (pr.PhaseIndex() + 1) % len(pr.Profile.Phases)
+				specs[i].Hint = &pr.Profile.Phases[next].Curve
+			}
+		}
+	}
+	refresh()
+
+	mcfg := core.MultiConfig{
+		Group:          s.cfg.DICER,
+		WayBytes:       m.WaysBytes(1),
+		CLOSBudget:     spec.CLOSBudget,
+		Grouping:       spec.Grouping,
+		ReclusterEvery: spec.ReclusterEvery,
+		UsePhaseHints:  spec.UsePhaseHints,
+	}
+	mc, err := core.NewMulti(mcfg, specs)
+	if err != nil {
+		return MultiHPOutcome{}, err
+	}
+	reclusters := 0
+	mc.ChainTrace(func(e core.GroupEvent) {
+		if e.Kind == core.EventRecluster && e.Group == 0 {
+			reclusters++
+		}
+	})
+
+	sys := resctrl.NewEmu(r, false)
+	if err := mc.Setup(sys); err != nil {
+		return MultiHPOutcome{}, err
+	}
+	meter := resctrl.NewMeter(sys)
+	dt := s.cfg.PeriodSec / float64(s.cfg.StepsPerPeriod)
+	for period := 0; period < horizon; period++ {
+		for step := 0; step < s.cfg.StepsPerPeriod; step++ {
+			r.Step(dt)
+		}
+		p := meter.Sample()
+		refresh()
+		if err := mc.UpdateSpecs(specs); err != nil {
+			return MultiHPOutcome{}, err
+		}
+		if err := mc.Observe(sys, p); err != nil {
+			return MultiHPOutcome{}, err
+		}
+	}
+
+	out := MultiHPOutcome{
+		Policy:     mc.Name(),
+		NumGroups:  mc.NumGroups(),
+		Reclusters: reclusters,
+	}
+	norms := make([]float64, 0, spec.M+spec.BECount)
+	met := 0
+	for i := range hpNames {
+		ref, err := s.AloneIPC(hpNames[i])
+		if err != nil {
+			return MultiHPOutcome{}, err
+		}
+		ipc := procs[i].IPC()
+		if sd := metrics.Slowdown(ref, ipc); sd > out.MaxSlowdown {
+			out.MaxSlowdown = sd
+		}
+		if metrics.SLOAchieved(ipc, ref, slo) {
+			met++
+		}
+		norms = append(norms, metrics.NormIPC(ipc, ref))
+	}
+	out.Conformance = float64(met) / float64(spec.M)
+	for i := range beNames {
+		ref, err := s.AloneIPC(beNames[i])
+		if err != nil {
+			return MultiHPOutcome{}, err
+		}
+		norms = append(norms, metrics.NormIPC(r.Proc(spec.M+i).IPC(), ref))
+	}
+	out.EFU = metrics.EFU(norms)
+	return out, nil
+}
+
+// MultiHPCell is one grid cell: a labelled spec and its outcome, or the
+// infeasibility error (per-app grouping beyond the budget refuses).
+type MultiHPCell struct {
+	Label   string
+	Spec    MultiHPSpec
+	Outcome MultiHPOutcome
+	Err     string
+}
+
+// MultiHPGridResult is the clustered-vs-baselines comparison grid.
+type MultiHPGridResult struct {
+	M, BECount int
+	Budget     int // the real hardware CLOS budget
+	Cells      []MultiHPCell
+}
+
+// MultiHPGrid runs the consolidation grid for M HP apps under the real
+// hardware budget: the clustered plan at the full, halved and quartered
+// budget, the single shared group, per-app under the real budget
+// (recorded as infeasible when M exceeds it), and per-app on fantasy
+// hardware with M+1 CLOS ids as the isolation reference. Cells run
+// through the suite's executor; results are identical for any worker
+// count.
+func (s *Suite) MultiHPGrid(m, beCount, budget int) (MultiHPGridResult, error) {
+	base := MultiHPSpec{M: m, BECount: beCount, CLOSBudget: budget, Seed: 1}
+	with := func(label, grouping string, clos int) MultiHPCell {
+		spec := base
+		spec.Grouping = grouping
+		spec.CLOSBudget = clos
+		return MultiHPCell{Label: label, Spec: spec}
+	}
+	res := MultiHPGridResult{
+		M: m, BECount: beCount, Budget: budget,
+		Cells: []MultiHPCell{
+			with("clustered", core.GroupingClustered, budget),
+			with(fmt.Sprintf("clustered/%d", budget/2), core.GroupingClustered, budget/2),
+			with(fmt.Sprintf("clustered/%d", budget/4), core.GroupingClustered, budget/4),
+			with("single", core.GroupingSingle, budget),
+			with("per-app", core.GroupingPerApp, budget),
+			with("per-app-spill", core.GroupingSpill, budget),
+			with(fmt.Sprintf("per-app/%d-clos", m+1), core.GroupingPerApp, m+1),
+		},
+	}
+	err := Execute(len(res.Cells), s.workers(), func(i int) error {
+		cell := &res.Cells[i]
+		out, err := s.RunMultiHP(cell.Spec)
+		if err != nil {
+			cell.Err = err.Error()
+			return nil // infeasible cells are part of the result
+		}
+		cell.Outcome = out
+		return nil
+	})
+	return res, err
+}
+
+// Table renders the grid.
+func (r MultiHPGridResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Multi-HP consolidation: %d HP apps + %d BEs, %d-CLOS hardware (worst per-app slowdown / SLO conformance / EFU)",
+			r.M, r.BECount, r.Budget),
+		"Plan", "CLOS budget", "Groups", "Max slowdown", "SLO conf", "EFU")
+	for _, c := range r.Cells {
+		if c.Err != "" {
+			t.AddRow(c.Label, fmt.Sprintf("%d", c.Spec.CLOSBudget), "-", "infeasible", "-", "-")
+			continue
+		}
+		t.AddRow(c.Label,
+			fmt.Sprintf("%d", c.Spec.CLOSBudget),
+			fmt.Sprintf("%d", c.Outcome.NumGroups),
+			report.F3(c.Outcome.MaxSlowdown),
+			report.Pct(c.Outcome.Conformance*100),
+			report.F3(c.Outcome.EFU))
+	}
+	return t
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dicer/internal/core"
+)
+
+// The multi-HP grid is pinned three ways: a golden file over the
+// rendered table (the user-visible byte stream), a Workers=1-vs-parallel
+// equivalence check, and structural properties every cell must satisfy
+// regardless of the drawn workload.
+
+func TestGoldenMultiHP(t *testing.T) {
+	s, err := NewSuite(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := s.MultiHPGrid(20, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "multihp", grid.Table().String())
+}
+
+func TestMultiHPParallelSerialEquivalence(t *testing.T) {
+	serial := eqSuite(t, 1)
+	want, err := serial.MultiHPGrid(12, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 7} {
+		par := eqSuite(t, workers)
+		got, err := par.MultiHPGrid(12, 2, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d grid differs from serial:\n%s\nvs\n%s",
+				workers, got.Table(), want.Table())
+		}
+	}
+}
+
+func TestMultiHPGridProperties(t *testing.T) {
+	s := eqSuite(t, 0)
+	m, budget := 20, 16
+	grid, err := s.MultiHPGrid(m, 2, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Cells) != 7 {
+		t.Fatalf("expected 7 cells, got %d", len(grid.Cells))
+	}
+	byLabel := map[string]MultiHPCell{}
+	for _, c := range grid.Cells {
+		byLabel[c.Label] = c
+	}
+
+	// Clustered under the real 16-CLOS budget must run M=20 apps within
+	// at most 15 HP groups and keep everyone within SLO-relevant bounds.
+	cl := byLabel["clustered"]
+	if cl.Err != "" {
+		t.Fatalf("clustered cell failed: %s", cl.Err)
+	}
+	if cl.Outcome.NumGroups < 1 || cl.Outcome.NumGroups > budget-1 {
+		t.Fatalf("clustered groups %d outside [1,%d]", cl.Outcome.NumGroups, budget-1)
+	}
+	if cl.Outcome.MaxSlowdown < 1 {
+		t.Fatalf("max slowdown %g < 1", cl.Outcome.MaxSlowdown)
+	}
+	if cl.Outcome.Conformance < 0 || cl.Outcome.Conformance > 1 {
+		t.Fatalf("conformance %g outside [0,1]", cl.Outcome.Conformance)
+	}
+
+	// Single always collapses to one group.
+	if sg := byLabel["single"]; sg.Err != "" || sg.Outcome.NumGroups != 1 {
+		t.Fatalf("single cell: err=%q groups=%d", sg.Err, sg.Outcome.NumGroups)
+	}
+
+	// Per-app under the real budget is infeasible at M=20 (needs 21 CLOS
+	// ids) — and so is the fantasy cell with M+1 ids, because the cache
+	// itself runs out: 20 apps x 1 CAT-minimum way exceed the HP way
+	// budget. Per-app isolation past the budget is not merely an id
+	// shortage, which is exactly why the spill baseline exists.
+	if pa := byLabel["per-app"]; pa.Err == "" {
+		t.Fatalf("per-app at M=%d under %d CLOS should be infeasible", m, budget)
+	}
+	if fantasy := byLabel["per-app/21-clos"]; fantasy.Err == "" {
+		t.Fatalf("fantasy per-app at M=%d should still be ways-infeasible", m)
+	}
+
+	// The spill baseline always fits: per-app CLOS ids until they run
+	// out, the overflow pooled in the last HP group.
+	sp := byLabel["per-app-spill"]
+	if sp.Err != "" {
+		t.Fatalf("per-app-spill cell failed: %s", sp.Err)
+	}
+	if sp.Outcome.NumGroups != budget-1 {
+		t.Fatalf("spill groups = %d, want %d", sp.Outcome.NumGroups, budget-1)
+	}
+
+	table := grid.Table().String()
+	if !strings.Contains(table, "infeasible") {
+		t.Fatalf("table does not surface the infeasible cell:\n%s", table)
+	}
+}
+
+// The workload draw is a pure function of the seed.
+func TestMultiHPWorkloadDeterministic(t *testing.T) {
+	a1, b1 := multiHPWorkload(MultiHPSpec{M: 20, BECount: 2, Seed: 7})
+	a2, b2 := multiHPWorkload(MultiHPSpec{M: 20, BECount: 2, Seed: 7})
+	if !reflect.DeepEqual(a1, a2) || !reflect.DeepEqual(b1, b2) {
+		t.Fatal("same seed drew different workloads")
+	}
+	a3, _ := multiHPWorkload(MultiHPSpec{M: 20, BECount: 2, Seed: 8})
+	if reflect.DeepEqual(a1, a3) {
+		t.Fatal("different seeds drew identical HP sets")
+	}
+}
+
+func TestRunMultiHPValidation(t *testing.T) {
+	s := eqSuite(t, 1)
+	if _, err := s.RunMultiHP(MultiHPSpec{M: 0, CLOSBudget: 4}); err == nil {
+		t.Fatal("M=0 accepted")
+	}
+	if _, err := s.RunMultiHP(MultiHPSpec{M: 2, CLOSBudget: 1}); err == nil {
+		t.Fatal("CLOS budget 1 accepted")
+	}
+	// Per-app beyond the budget surfaces the planner's refusal.
+	if _, err := s.RunMultiHP(MultiHPSpec{
+		M: 8, CLOSBudget: 4, Grouping: core.GroupingPerApp,
+	}); err == nil {
+		t.Fatal("per-app with 8 apps under 4 CLOS accepted")
+	}
+}

@@ -50,7 +50,7 @@ func BenchmarkFleetPlacement(b *testing.B) {
 	if err := c.Step(); err != nil {
 		b.Fatal(err)
 	}
-	job := &Job{Profile: c.nodes[0].cfg.HP}
+	job := &Job{Profile: c.nodes[0].cfg.HPs[0]}
 	views := make([]NodeView, 0, len(c.nodes))
 	for i, n := range c.nodes {
 		views = append(views, n.view(c.lastGbps[i], 0))

@@ -32,6 +32,13 @@ type Config struct {
 	// HPs names the high-priority applications, assigned to nodes
 	// round-robin. Default: a cache-sensitive mix.
 	HPs []string
+	// HPsPerNode consolidates several HP applications onto each node
+	// (cores 0..HPsPerNode-1) under the multi-HP DICER controller.
+	// Default 1: the legacy single-HP node, byte-identical traces.
+	HPsPerNode int
+	// CLOSBudget is each multi-HP node's CLOS-id budget (HP groups plus
+	// the BE partition). Default 16 (real CAT). Ignored at HPsPerNode 1.
+	CLOSBudget int
 	// Policy is the node-local policy on every node: "UM", "CT" or
 	// "DICER" (default).
 	Policy string
@@ -101,6 +108,12 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.Policy == "" {
 		cfg.Policy = "DICER"
+	}
+	if cfg.HPsPerNode == 0 {
+		cfg.HPsPerNode = 1
+	}
+	if cfg.CLOSBudget == 0 {
+		cfg.CLOSBudget = 16
 	}
 	if cfg.DICER == (core.Config{}) {
 		cfg.DICER = core.DefaultConfig()
@@ -206,6 +219,12 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Machine.Cores < 2 {
 		return nil, fmt.Errorf("fleet: machine needs >=2 cores for HP + BEs")
 	}
+	if cfg.HPsPerNode < 1 {
+		return nil, fmt.Errorf("fleet: HPsPerNode %d < 1", cfg.HPsPerNode)
+	}
+	if cfg.Machine.Cores <= cfg.HPsPerNode {
+		return nil, fmt.Errorf("fleet: machine has %d cores for %d HPs + BEs", cfg.Machine.Cores, cfg.HPsPerNode)
+	}
 	if err := cfg.NodeChaos.Validate(); err != nil {
 		return nil, err
 	}
@@ -226,20 +245,29 @@ func New(cfg Config) (*Cluster, error) {
 		lastGbps: make([]float64, cfg.Nodes),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		hpName := cfg.HPs[i%len(cfg.HPs)]
-		hp, err := app.ByName(hpName)
-		if err != nil {
-			return nil, err
-		}
-		hpAlone, err := c.aloneIPC(hpName)
-		if err != nil {
-			return nil, err
+		// Node i hosts HPsPerNode consecutive entries of the round-robin
+		// HP stream; at HPsPerNode 1 this is exactly the legacy
+		// one-name-per-node assignment.
+		hps := make([]app.Profile, cfg.HPsPerNode)
+		alones := make([]float64, cfg.HPsPerNode)
+		for j := range hps {
+			hpName := cfg.HPs[(i*cfg.HPsPerNode+j)%len(cfg.HPs)]
+			hp, err := app.ByName(hpName)
+			if err != nil {
+				return nil, err
+			}
+			hpAlone, err := c.aloneIPC(hpName)
+			if err != nil {
+				return nil, err
+			}
+			hps[j], alones[j] = hp, hpAlone
 		}
 		n, err := NewNode(NodeConfig{
 			ID:             i,
 			Machine:        cfg.Machine,
-			HP:             hp,
-			HPAloneIPC:     hpAlone,
+			HPs:            hps,
+			HPAloneIPCs:    alones,
+			CLOSBudget:     cfg.CLOSBudget,
 			Policy:         cfg.Policy,
 			DICER:          cfg.DICER,
 			SLO:            cfg.SLO,
@@ -273,10 +301,15 @@ func New(cfg Config) (*Cluster, error) {
 func (c *Cluster) header() TraceHeader {
 	arr := c.cfg.Arrivals
 	arr.defaults()
+	hpsPerNode := 0
+	if c.cfg.HPsPerNode > 1 {
+		hpsPerNode = c.cfg.HPsPerNode
+	}
 	return TraceHeader{
 		Schema:         TraceSchema,
 		Nodes:          c.cfg.Nodes,
 		CoresPerNode:   c.cfg.Machine.Cores,
+		HPsPerNode:     hpsPerNode,
 		Policy:         c.cfg.Policy,
 		Scheduler:      c.cfg.Scheduler,
 		SchedSeed:      c.cfg.SchedSeed,

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"dicer/internal/app"
+	"dicer/internal/cluster"
 	"dicer/internal/core"
 	"dicer/internal/machine"
 	"dicer/internal/metrics"
@@ -40,20 +41,29 @@ type Job struct {
 	NotBefore int
 }
 
-// NodeConfig describes one fleet node: a simulated server running one HP
-// application under a node-local consolidation policy.
+// NodeConfig describes one fleet node: a simulated server running one or
+// more HP applications under a node-local consolidation policy.
 type NodeConfig struct {
 	ID      int
 	Machine machine.Machine
-	HP      app.Profile
-	// HPAloneIPC is the HP's full-LLC alone-run IPC (the SLO and
-	// normalisation reference).
-	HPAloneIPC float64
-	// Policy is the node-local policy: "UM", "CT" or "DICER".
+	// HPs are the node's high-priority applications, attached to cores
+	// 0..len(HPs)-1. One HP runs the legacy single-HP policy path
+	// byte-identically; more than one runs the multi-HP DICER controller
+	// with an LFOC-style clustered plan.
+	HPs []app.Profile
+	// HPAloneIPCs are the HPs' full-LLC alone-run IPCs (the SLO and
+	// normalisation references), index-matched to HPs.
+	HPAloneIPCs []float64
+	// CLOSBudget is the CLOS-id budget for multi-HP nodes (HP groups plus
+	// the BE partition). Ignored with a single HP, which always uses the
+	// legacy two-CLOS split.
+	CLOSBudget int
+	// Policy is the node-local policy: "UM", "CT" or "DICER". Multi-HP
+	// nodes require DICER (the grouped controller).
 	Policy string
 	// DICER configures the controller when Policy is "DICER".
 	DICER core.Config
-	// SLO is the HP's target fraction of alone performance.
+	// SLO is every HP's target fraction of alone performance.
 	SLO            float64
 	PeriodSec      float64
 	StepsPerPeriod int
@@ -69,8 +79,12 @@ type Heartbeat struct {
 	Frozen bool `json:"frozen,omitempty"`
 	Lost   bool `json:"lost,omitempty"`
 
+	// HPIPC / HPNorm describe the node's worst-normalised HP (the only
+	// one, on single-HP nodes). HPGroups is the number of HP CLOS groups
+	// the multi-HP controller runs (omitted on legacy single-HP nodes).
 	HPIPC     float64 `json:"hp_ipc,omitempty"`
 	HPNorm    float64 `json:"hp_norm,omitempty"`
+	HPGroups  int     `json:"hp_groups,omitempty"`
 	BECount   int     `json:"be_count"`
 	HPWays    int     `json:"hp_ways,omitempty"`
 	HPBWGbps  float64 `json:"hp_bw_gbps,omitempty"`
@@ -92,8 +106,14 @@ type Node struct {
 	pol    policy.Policy
 	meter  *resctrl.Meter
 
-	// jobs indexes running jobs by core (nil = free); cores 1..Cores-1
-	// hold BE jobs, core 0 the HP.
+	// hpCount HPs occupy cores 0..hpCount-1; multi is the grouped
+	// controller when hpCount > 1 (nil on the legacy single-HP path).
+	hpCount int
+	multi   *core.MultiController
+	beClos  int
+
+	// jobs indexes running jobs by core (nil = free); cores
+	// hpCount..Cores-1 hold BE jobs.
 	jobs    []*Job
 	beCount int
 
@@ -112,20 +132,43 @@ func buildNodePolicy(name string, dcfg core.Config) (policy.Policy, error) {
 	return nil, fmt.Errorf("fleet: unknown node policy %q (have UM, CT, DICER)", name)
 }
 
-// NewNode builds a node, attaches its HP on core 0 and runs the policy's
-// Setup.
+// NewNode builds a node, attaches its HPs on cores 0..len(HPs)-1 and
+// runs the policy's Setup. A single HP takes the legacy two-CLOS path;
+// several HPs run the multi-HP DICER controller under the node's CLOS
+// budget.
 func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.SLO <= 0 || cfg.SLO > 1 {
 		return nil, fmt.Errorf("fleet: node %d SLO %g outside (0,1]", cfg.ID, cfg.SLO)
 	}
-	if cfg.HPAloneIPC <= 0 {
-		return nil, fmt.Errorf("fleet: node %d needs a positive HP alone-IPC reference", cfg.ID)
+	k := len(cfg.HPs)
+	if k == 0 {
+		return nil, fmt.Errorf("fleet: node %d needs at least one HP", cfg.ID)
 	}
+	if len(cfg.HPAloneIPCs) != k {
+		return nil, fmt.Errorf("fleet: node %d has %d HPs but %d alone references", cfg.ID, k, len(cfg.HPAloneIPCs))
+	}
+	for i, v := range cfg.HPAloneIPCs {
+		if v <= 0 {
+			return nil, fmt.Errorf("fleet: node %d HP %d needs a positive alone-IPC reference", cfg.ID, i)
+		}
+	}
+	if cfg.Machine.Cores <= k {
+		return nil, fmt.Errorf("fleet: node %d has %d cores for %d HPs + BEs", cfg.ID, cfg.Machine.Cores, k)
+	}
+	if k == 1 {
+		return newSingleHPNode(cfg)
+	}
+	return newMultiHPNode(cfg)
+}
+
+// newSingleHPNode is the legacy path: one HP on core 0, the two-CLOS
+// HP/BE split, any of the UM/CT/DICER policies.
+func newSingleHPNode(cfg NodeConfig) (*Node, error) {
 	r, err := sim.New(cfg.Machine, 2)
 	if err != nil {
 		return nil, err
 	}
-	if err := r.Attach(0, policy.HPClos, cfg.HP); err != nil {
+	if err := r.Attach(0, policy.HPClos, cfg.HPs[0]); err != nil {
 		return nil, err
 	}
 	pol, err := buildNodePolicy(cfg.Policy, cfg.DICER)
@@ -137,12 +180,68 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 	return &Node{
-		cfg:    cfg,
-		runner: r,
-		sys:    sys,
-		pol:    pol,
-		meter:  resctrl.NewMeter(sys),
-		jobs:   make([]*Job, cfg.Machine.Cores),
+		cfg:     cfg,
+		runner:  r,
+		sys:     sys,
+		pol:     pol,
+		meter:   resctrl.NewMeter(sys),
+		hpCount: 1,
+		beClos:  policy.BEClos,
+		jobs:    make([]*Job, cfg.Machine.Cores),
+	}, nil
+}
+
+// newMultiHPNode hosts several HPs under the grouped DICER controller:
+// HPs attach to CLOS 0, the clustered plan moves their cores into CLOS
+// groups, and BE jobs share the partition at CLOS budget-1.
+func newMultiHPNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Policy != "DICER" && cfg.Policy != "dicer" {
+		return nil, fmt.Errorf("fleet: node %d runs %d HPs, which requires the DICER policy (got %q)", cfg.ID, len(cfg.HPs), cfg.Policy)
+	}
+	budget := cfg.CLOSBudget
+	if budget == 0 {
+		budget = 16
+	}
+	if budget < 2 {
+		return nil, fmt.Errorf("fleet: node %d CLOS budget %d < 2", cfg.ID, budget)
+	}
+	r, err := sim.New(cfg.Machine, budget)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]cluster.AppSpec, len(cfg.HPs))
+	for i, hp := range cfg.HPs {
+		if err := r.Attach(i, 0, hp); err != nil {
+			return nil, err
+		}
+		ph := r.Proc(i).PhaseRef()
+		specs[i] = cluster.AppSpec{
+			Name: hp.Name, Core: i, SLO: cfg.SLO,
+			Curve: ph.Curve, APKI: ph.APKI,
+		}
+	}
+	mc, err := core.NewMulti(core.MultiConfig{
+		Group:      cfg.DICER,
+		WayBytes:   cfg.Machine.WaysBytes(1),
+		CLOSBudget: budget,
+	}, specs)
+	if err != nil {
+		return nil, err
+	}
+	sys := resctrl.NewEmu(r, false)
+	if err := mc.Setup(sys); err != nil {
+		return nil, err
+	}
+	return &Node{
+		cfg:     cfg,
+		runner:  r,
+		sys:     sys,
+		pol:     mc,
+		meter:   resctrl.NewMeter(sys),
+		hpCount: len(cfg.HPs),
+		multi:   mc,
+		beClos:  mc.BEClos(),
+		jobs:    make([]*Job, cfg.Machine.Cores),
 	}, nil
 }
 
@@ -150,7 +249,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 func (n *Node) ID() int { return n.cfg.ID }
 
 // FreeCores returns the number of cores available for BE jobs.
-func (n *Node) FreeCores() int { return n.cfg.Machine.Cores - 1 - n.beCount }
+func (n *Node) FreeCores() int { return n.cfg.Machine.Cores - n.hpCount - n.beCount }
 
 // BECount returns the number of running BE jobs.
 func (n *Node) BECount() int { return n.beCount }
@@ -197,9 +296,9 @@ func (n *Node) Place(j *Job, period int) error {
 	if n.Frozen(period) {
 		return fmt.Errorf("fleet: placing job %d on frozen node %d", j.ID, n.cfg.ID)
 	}
-	for c := 1; c < len(n.jobs); c++ {
+	for c := n.hpCount; c < len(n.jobs); c++ {
 		if n.jobs[c] == nil {
-			if err := n.runner.Attach(c, policy.BEClos, j.Profile); err != nil {
+			if err := n.runner.Attach(c, n.beClos, j.Profile); err != nil {
 				return err
 			}
 			n.jobs[c] = j
@@ -230,18 +329,37 @@ func (n *Node) StepPeriod(period int) (Heartbeat, []*Job, error) {
 	}
 
 	hb := Heartbeat{Node: n.cfg.ID, BECount: n.beCount}
-	hb.HPIPC = p.CoreIPC(0)
-	hb.HPNorm = metrics.NormIPC(hb.HPIPC, n.cfg.HPAloneIPC)
-	hb.HPWays = bits.OnesCount64(n.sys.CBM(policy.HPClos))
-	hb.HPBWGbps = p.GroupBW(policy.HPClos)
+	// The headline HP fields report the worst-normalised HP (on a
+	// single-HP node, the only one — exactly the legacy readings).
+	worst := 0
+	for i := 0; i < n.hpCount; i++ {
+		ipc := p.CoreIPC(i)
+		norm := metrics.NormIPC(ipc, n.cfg.HPAloneIPCs[i])
+		hb.NormSum += norm
+		if i == 0 || norm < hb.HPNorm {
+			worst, hb.HPNorm = i, norm
+		}
+		if !metrics.SLOAchieved(ipc, n.cfg.HPAloneIPCs[i], n.cfg.SLO) {
+			hb.SLOViolated = true
+		}
+	}
+	hb.HPIPC = p.CoreIPC(worst)
+	if n.multi != nil {
+		hb.HPGroups = n.multi.NumGroups()
+		for gi := 0; gi < n.multi.NumGroups(); gi++ {
+			hb.HPWays += n.multi.GroupWays(gi)
+			hb.HPBWGbps += p.GroupBW(gi)
+		}
+	} else {
+		hb.HPWays = bits.OnesCount64(n.sys.CBM(policy.HPClos))
+		hb.HPBWGbps = p.GroupBW(policy.HPClos)
+	}
 	hb.TotalGbps = p.TotalGbps
 	link := n.cfg.Machine.Link
 	hb.Saturated = p.TotalGbps > link.Knee*link.CapacityGBps
-	hb.SLOViolated = !metrics.SLOAchieved(hb.HPIPC, n.cfg.HPAloneIPC, n.cfg.SLO)
-	hb.NormSum = hb.HPNorm
 
 	var completed []*Job
-	for c := 1; c < len(n.jobs); c++ {
+	for c := n.hpCount; c < len(n.jobs); c++ {
 		j := n.jobs[c]
 		if j == nil {
 			continue
@@ -270,23 +388,44 @@ func (n *Node) StepPeriod(period int) (Heartbeat, []*Job, error) {
 // successive placements see each other.
 func (n *Node) view(lastTotalGbps, pendingGbps float64) NodeView {
 	m := n.cfg.Machine
-	beWays := bits.OnesCount64(n.sys.CBM(policy.BEClos))
+	beWays := bits.OnesCount64(n.sys.CBM(n.beClos))
 	v := NodeView{
-		ID:          n.cfg.ID,
-		FreeCores:   n.FreeCores(),
-		BECount:     n.beCount,
-		BEWays:      beWays,
-		TotalGbps:   lastTotalGbps + pendingGbps,
-		Machine:     m,
+		ID:        n.cfg.ID,
+		FreeCores: n.FreeCores(),
+		BECount:   n.beCount,
+		BEWays:    beWays,
+		TotalGbps: lastTotalGbps + pendingGbps,
+		Machine:   m,
 	}
 	beBytes := m.WaysBytes(beWays)
-	for c := 1; c < len(n.jobs); c++ {
+	for c := n.hpCount; c < len(n.jobs); c++ {
 		if j := n.jobs[c]; j != nil {
 			fp := j.Profile.MaxFootprint()
 			if fp > beBytes {
 				fp = beBytes
 			}
 			v.BEFootprint += fp
+		}
+	}
+	// Multi-HP nodes expose their worst HP group's LLC overcommit: the
+	// clustered plan may pool incompatible HPs, and a node whose HP
+	// groups are already thrashing is a poor host for more cache
+	// pressure. Single-HP nodes report zero — the legacy controller
+	// regulates its one HP directly, and the legacy score must not move.
+	if n.multi != nil {
+		k := n.multi.NumGroups()
+		fp := make([]float64, k)
+		for i, hp := range n.cfg.HPs {
+			fp[n.multi.GroupOf(i)] += hp.MaxFootprint()
+		}
+		for gi := 0; gi < k; gi++ {
+			bytes := m.WaysBytes(n.multi.GroupWays(gi))
+			if bytes <= 0 {
+				continue
+			}
+			if over := fp[gi]/bytes - 1; over > v.HPGroupPressure {
+				v.HPGroupPressure = over
+			}
 		}
 	}
 	return v

@@ -27,7 +27,11 @@ type NodeView struct {
 	// BEFootprint sums the running BE jobs' cacheable footprints, each
 	// capped at the BE partition size — the LLC pressure already there.
 	BEFootprint float64
-	Machine     machine.Machine
+	// HPGroupPressure is the worst HP CLOS group's LLC overcommit on a
+	// multi-HP node (member footprints over group capacity, beyond 1×).
+	// Single-HP nodes report zero, keeping the legacy score unchanged.
+	HPGroupPressure float64
+	Machine         machine.Machine
 }
 
 // Scheduler places queued jobs onto candidate nodes. Pick returns the
@@ -151,6 +155,10 @@ func headroomScore(job *Job, v NodeView) (score float64, feasible bool) {
 			score -= pressureWeight * overcommit
 		}
 	}
+	// Thrashing HP groups on multi-HP nodes repel placements the same
+	// way: their controllers will claw ways back from BE, so the
+	// advertised partition overstates what the job would really get.
+	score -= pressureWeight * v.HPGroupPressure
 	return score, true
 }
 

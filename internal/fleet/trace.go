@@ -17,23 +17,26 @@ const TraceSchema = "dicer-fleet/v1"
 // regenerate the run (the arrival trace is a pure function of Arrivals,
 // node chaos of NodeChaos+seed parameters recorded by name).
 type TraceHeader struct {
-	Schema         string        `json:"schema"`
-	Nodes          int           `json:"nodes"`
-	CoresPerNode   int           `json:"cores_per_node"`
-	Policy         string        `json:"policy"`
-	Scheduler      string        `json:"scheduler"`
-	SchedSeed      int64         `json:"sched_seed,omitempty"`
-	PeriodSec      float64       `json:"period_sec"`
-	StepsPerPeriod int           `json:"steps_per_period"`
-	HorizonPeriods int           `json:"horizon_periods"`
-	SLO            float64       `json:"slo"`
+	Schema         string  `json:"schema"`
+	Nodes          int     `json:"nodes"`
+	CoresPerNode   int     `json:"cores_per_node"`
+	Policy         string  `json:"policy"`
+	Scheduler      string  `json:"scheduler"`
+	SchedSeed      int64   `json:"sched_seed,omitempty"`
+	PeriodSec      float64 `json:"period_sec"`
+	StepsPerPeriod int     `json:"steps_per_period"`
+	HorizonPeriods int     `json:"horizon_periods"`
+	SLO            float64 `json:"slo"`
 	// LinkGbps is each node's memory-link capacity, for link
 	// utilisation diagnostics over the heartbeats' bandwidth readings.
 	LinkGbps float64 `json:"link_gbps,omitempty"`
 	QueueCap int     `json:"queue_cap"`
-	HPs            []string      `json:"hps"`
-	Arrivals       ArrivalConfig `json:"arrivals"`
-	NodeChaos      string        `json:"node_chaos,omitempty"`
+	// HPsPerNode is recorded only for multi-HP fleets; legacy single-HP
+	// traces omit it and stay byte-identical.
+	HPsPerNode int           `json:"hps_per_node,omitempty"`
+	HPs        []string      `json:"hps"`
+	Arrivals   ArrivalConfig `json:"arrivals"`
+	NodeChaos  string        `json:"node_chaos,omitempty"`
 }
 
 // ClusterRecord is one monitoring period of the whole cluster: the

@@ -44,6 +44,16 @@ const (
 	// MetricHPDegradation is the worst chaos-soak HP IPC degradation
 	// (relative to the fault-free run) across the config's workloads.
 	MetricHPDegradation Metric = "hp_degradation"
+	// MetricMaxSlowdown is the worst per-app HP slowdown of a multi-HP
+	// consolidation run — the fairness endpoint the clustered planner
+	// optimises.
+	MetricMaxSlowdown Metric = "max_slowdown"
+	// MetricSLOConformance is the fraction of HP apps meeting their SLO
+	// at the end of a multi-HP consolidation run.
+	MetricSLOConformance Metric = "slo_conformance"
+	// MetricConsolidationEFU is the Eq. 1 EFU over every application of
+	// a multi-HP consolidation run.
+	MetricConsolidationEFU Metric = "consolidation_efu"
 )
 
 // Comparison is one falsifiable sub-claim of a hypothesis: the metric of

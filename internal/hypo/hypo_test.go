@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+
+	"dicer/internal/experiments"
 )
 
 // TestTrajectoryNoSilentFlips is the seed-widening property: judging
@@ -104,6 +106,12 @@ func TestValidate(t *testing.T) {
 		{"both specs", func(h *Hypothesis) {
 			h.Configs[0].Fleet = &FleetSpec{Scheduler: "random", Policy: "DICER"}
 		}, "both fleet and soak"},
+		{"soak plus multi-HP", func(h *Hypothesis) {
+			h.Configs[0].MultiHP = &experiments.MultiHPSpec{M: 4, CLOSBudget: 4}
+		}, "both soak and multi-HP"},
+		{"no specs", func(h *Hypothesis) {
+			h.Configs[0].Soak = nil
+		}, "none of the fleet, soak or multi-HP"},
 	}
 	for _, c := range cases {
 		h := good

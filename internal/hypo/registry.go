@@ -233,6 +233,91 @@ func Registered() []Hypothesis {
 				MinEffect: 0.02,
 			}},
 		},
+		{
+			Name:   "clustering-beats-naive-spill",
+			Family: "Consolidation comparative",
+			Title:  "LFOC-style clustering beats naive per-app spill on worst-app fairness",
+			Claim: "Consolidating more HP applications than the hardware has CLOS ids " +
+				"(M=20 under 16), the clustered plan — similarity grouping over miss-ratio " +
+				"curves with contention-aware way allocation — holds a lower worst-app " +
+				"slowdown than the naive baseline practitioners actually deploy: one CLOS " +
+				"per app in arrival order until the ids run out, the rest spilled into the " +
+				"last partition. Eight workload draws, paired per seed; Eq. 1 EFU rides " +
+				"along as an exploratory endpoint (the fairness gain should not cost " +
+				"utilisation).",
+			Seeds:      DefaultSeeds(8),
+			Confidence: 0.95,
+			Configs: []Config{
+				{Name: "clustered", MultiHP: &experiments.MultiHPSpec{
+					M: 20, BECount: 2, CLOSBudget: 16,
+				}},
+				{Name: "per-app-spill", MultiHP: &experiments.MultiHPSpec{
+					M: 20, BECount: 2, CLOSBudget: 16, Grouping: core.GroupingSpill,
+				}},
+			},
+			Comparisons: []Comparison{
+				{
+					Name:      "max-slowdown",
+					Metric:    MetricMaxSlowdown,
+					Treatment: "clustered",
+					Control:   "per-app-spill",
+					Direction: Less,
+					MinEffect: 0.05,
+				},
+				{
+					Name:        "consolidation-efu",
+					Metric:      MetricConsolidationEFU,
+					Treatment:   "clustered",
+					Control:     "per-app-spill",
+					Direction:   Greater,
+					MinEffect:   0,
+					Exploratory: true,
+				},
+			},
+		},
+		{
+			Name:   "phase-hints-recluster",
+			Family: "Consolidation comparative",
+			Title:  "Phase-hinted re-clustering beats reactive-only on SLO conformance",
+			Claim: "When the multi-HP controller re-plans its grouping periodically, " +
+				"compiler-style phase hints (the upcoming phase's miss-ratio curve exposed " +
+				"to the planner shortly before the transition, Com-CAS style) raise the " +
+				"fraction of HP apps meeting their SLO over the reactive-only re-planner " +
+				"that only ever sees the current phase. This is the naive transfer of the " +
+				"phase-hint story to consolidation scale; the worst-app slowdown rides " +
+				"along as an exploratory endpoint.",
+			Seeds:      DefaultSeeds(8),
+			Confidence: 0.95,
+			Configs: []Config{
+				{Name: "hinted", MultiHP: &experiments.MultiHPSpec{
+					M: 18, BECount: 2, CLOSBudget: 16,
+					ReclusterEvery: 10, UsePhaseHints: true,
+				}},
+				{Name: "reactive", MultiHP: &experiments.MultiHPSpec{
+					M: 18, BECount: 2, CLOSBudget: 16,
+					ReclusterEvery: 10,
+				}},
+			},
+			Comparisons: []Comparison{
+				{
+					Name:      "slo-conformance",
+					Metric:    MetricSLOConformance,
+					Treatment: "hinted",
+					Control:   "reactive",
+					Direction: Greater,
+					MinEffect: 0,
+				},
+				{
+					Name:        "max-slowdown",
+					Metric:      MetricMaxSlowdown,
+					Treatment:   "hinted",
+					Control:     "reactive",
+					Direction:   Less,
+					MinEffect:   0,
+					Exploratory: true,
+				},
+			},
+		},
 	}
 }
 

@@ -11,11 +11,11 @@ import (
 )
 
 // Config is one named experimental configuration of a hypothesis:
-// exactly one of Fleet or Soak is set. Every configuration runs once per
-// seed of the hypothesis; the seed feeds the stochastic inputs (fleet
-// arrival trace and random-scheduler stream, or the chaos fault stream)
-// while everything else stays fixed, so per-seed pairs are true
-// replicates.
+// exactly one of Fleet, Soak or MultiHP is set. Every configuration runs
+// once per seed of the hypothesis; the seed feeds the stochastic inputs
+// (fleet arrival trace and random-scheduler stream, the chaos fault
+// stream, or the multi-HP workload draw) while everything else stays
+// fixed, so per-seed pairs are true replicates.
 type Config struct {
 	Name string `json:"name"`
 	// Summary is a one-line description for reports (generated from the
@@ -23,16 +23,32 @@ type Config struct {
 	Summary string     `json:"summary,omitempty"`
 	Fleet   *FleetSpec `json:"fleet,omitempty"`
 	Soak    *SoakSpec  `json:"soak,omitempty"`
+	// MultiHP runs a single-node multi-HP consolidation
+	// (experiments.Suite.RunMultiHP) once per seed; the spec's Seed field
+	// is overridden by the hypothesis seed per replicate, so each seed
+	// draws a different workload from the catalog.
+	MultiHP *experiments.MultiHPSpec `json:"multihp,omitempty"`
 }
 
 func (c Config) validate() error {
-	switch {
-	case c.Fleet == nil && c.Soak == nil:
-		return fmt.Errorf("neither fleet nor soak spec set")
-	case c.Fleet != nil && c.Soak != nil:
-		return fmt.Errorf("both fleet and soak specs set")
+	var set []string
+	if c.Fleet != nil {
+		set = append(set, "fleet")
 	}
-	return nil
+	if c.Soak != nil {
+		set = append(set, "soak")
+	}
+	if c.MultiHP != nil {
+		set = append(set, "multi-HP")
+	}
+	switch len(set) {
+	case 0:
+		return fmt.Errorf("none of the fleet, soak or multi-HP specs set")
+	case 1:
+		return nil
+	default:
+		return fmt.Errorf("both %s and %s specs set", set[0], set[1])
+	}
 }
 
 // FleetSpec runs a multi-node cluster (internal/fleet) once per seed.
@@ -93,6 +109,21 @@ func (c Config) Describe() string {
 		}
 		return fmt.Sprintf("fleet: %d nodes x %d periods, scheduler %s, policy %s (controller %s), arrivals λ=%.1f/period mean-dur %.0f, queue cap %d",
 			nodes, horizon, f.Scheduler, f.Policy, ctl, arr.RatePerPeriod, arr.MeanDurationPeriods, qcap)
+	}
+	if m := c.MultiHP; m != nil {
+		grouping := m.Grouping
+		if grouping == "" {
+			grouping = "clustered"
+		}
+		extras := ""
+		if m.ReclusterEvery > 0 {
+			extras = fmt.Sprintf(", recluster every %d", m.ReclusterEvery)
+			if m.UsePhaseHints {
+				extras += " with phase hints"
+			}
+		}
+		return fmt.Sprintf("multi-HP: %d HP apps + %d BEs under %d CLOS ids, %s plan%s",
+			m.M, m.BECount, m.CLOSBudget, grouping, extras)
 	}
 	if s := c.Soak; s != nil {
 		n := len(s.Workloads)
@@ -214,6 +245,8 @@ func (r *Runner) runConfig(cfg Config, seeds []int64, metrics []Metric) ([]Metri
 		perSeed, err = r.runFleet(*cfg.Fleet, seeds, metrics)
 	case cfg.Soak != nil:
 		perSeed, err = r.runSoak(*cfg.Soak, seeds, metrics)
+	case cfg.MultiHP != nil:
+		perSeed, err = r.runMultiHP(*cfg.MultiHP, seeds, metrics)
 	}
 	if err != nil {
 		return nil, err
@@ -301,6 +334,40 @@ func extractFleet(res fleet.Result, metrics []Metric) ([]float64, error) {
 		default:
 			return nil, fmt.Errorf("metric %q not extractable from a fleet run", m)
 		}
+	}
+	return out, nil
+}
+
+// runMultiHP executes one multi-HP consolidation per seed across the
+// experiments executor; the hypothesis seed replaces the spec's workload
+// seed, so replicates draw different application mixes from the catalog
+// while the plan policy and budgets stay fixed.
+func (r *Runner) runMultiHP(spec experiments.MultiHPSpec, seeds []int64, metrics []Metric) ([][]float64, error) {
+	out := make([][]float64, len(seeds))
+	if err := experiments.Execute(len(seeds), r.workers(), func(i int) error {
+		run := spec
+		run.Seed = seeds[i]
+		res, err := r.Suite.RunMultiHP(run)
+		if err != nil {
+			return err
+		}
+		row := make([]float64, len(metrics))
+		for j, m := range metrics {
+			switch m {
+			case MetricMaxSlowdown:
+				row[j] = res.MaxSlowdown
+			case MetricSLOConformance:
+				row[j] = res.Conformance
+			case MetricConsolidationEFU:
+				row[j] = res.EFU
+			default:
+				return fmt.Errorf("metric %q not extractable from a multi-HP run", m)
+			}
+		}
+		out[i] = row
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -102,8 +102,8 @@ func ReadTrace(r io.Reader) (Header, []Record, error) {
 	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
 		return h, nil, fmt.Errorf("obs: bad trace header: %w", err)
 	}
-	if h.Schema != Schema {
-		return h, nil, fmt.Errorf("obs: unsupported trace schema %q (want %q)", h.Schema, Schema)
+	if h.Schema != Schema && h.Schema != SchemaV2 {
+		return h, nil, fmt.Errorf("obs: unsupported trace schema %q (want %q or %q)", h.Schema, Schema, SchemaV2)
 	}
 
 	var recs []Record

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"errors"
+	"math/bits"
+
+	"dicer/internal/chaos"
+	"dicer/internal/core"
+	"dicer/internal/invariant"
+	"dicer/internal/resctrl"
+)
+
+// MultiRecorder assembles one v2 Record per monitoring period for a
+// multi-HP run: the v1 aggregate fields (HP totals span every HP group)
+// plus one GroupRecord per CLOS group. Like Recorder it owns all its
+// scratch — group records and their decision buffers are preallocated
+// for the controller's CLOS budget — so a period costs zero heap
+// allocations regardless of the sink.
+type MultiRecorder struct {
+	sink      Sink
+	mc        *core.MultiController
+	cs        *chaos.System
+	threshold float64
+
+	prevFaults chaos.Stats
+	timeSec    float64
+
+	rec    Record
+	groups []GroupRecord // scratch, one slot per possible HP group
+	dec    [][]string    // per-group decision buffers (fixed capacity)
+}
+
+// NewMultiRecorder creates a recorder emitting to sink (NopSink if nil)
+// and subscribes it to the controller's decision stream.
+func NewMultiRecorder(sink Sink, mc *core.MultiController) *MultiRecorder {
+	if sink == nil {
+		sink = NopSink{}
+	}
+	r := &MultiRecorder{sink: sink, mc: mc}
+	r.threshold = mc.Config().Group.BWThresholdGbps
+	if mc.Config().Group.DisableSaturationHandling {
+		r.threshold = 0
+	}
+	maxGroups := mc.Config().CLOSBudget - 1
+	r.groups = make([]GroupRecord, maxGroups)
+	r.dec = make([][]string, maxGroups)
+	for i := range r.dec {
+		r.dec[i] = make([]string, 0, maxDecisions)
+	}
+	mc.ChainTrace(r.onEvent)
+	return r
+}
+
+// AttachChaos points the recorder at the run's fault-injection layer.
+func (r *MultiRecorder) AttachChaos(cs *chaos.System) {
+	if cs == nil {
+		return
+	}
+	r.cs = cs
+	r.prevFaults = cs.Stats()
+}
+
+// Start forwards the trace header to the sink when it wants one.
+func (r *MultiRecorder) Start(h Header) error {
+	if hs, ok := r.sink.(HeaderSink); ok {
+		return hs.Start(h)
+	}
+	return nil
+}
+
+// onEvent folds one group decision into the period's scratch.
+func (r *MultiRecorder) onEvent(e core.GroupEvent) {
+	if e.Group < 0 || e.Group >= len(r.groups) {
+		return
+	}
+	if e.Kind == core.EventRecluster {
+		r.rec.Reclustered = true
+	}
+	g := &r.groups[e.Group]
+	if len(g.Decisions) < maxDecisions {
+		r.dec[e.Group] = append(r.dec[e.Group], string(e.Kind))
+		g.Decisions = r.dec[e.Group]
+	}
+	g.Cause = e.Cause
+}
+
+// EndPeriod assembles and emits the record for one monitoring period.
+func (r *MultiRecorder) EndPeriod(period int, p resctrl.Period, sys resctrl.System, observeErr error) {
+	rec := &r.rec
+	rec.Period = period
+	r.timeSec += p.Seconds
+	rec.TimeSec = r.timeSec
+
+	k := r.mc.NumGroups()
+	beClos := r.mc.BEClos()
+
+	// Aggregate inputs: HP totals span every HP group.
+	var hpSum float64
+	hpN := 0
+	for _, c := range p.Cores {
+		if c.Clos < k {
+			hpSum += c.IPC
+			hpN++
+		}
+	}
+	rec.HPIPC = 0
+	if hpN > 0 {
+		rec.HPIPC = hpSum / float64(hpN)
+	}
+	rec.BEMeanIPC = p.ClosMeanIPC(beClos)
+	rec.HPBWGbps = 0
+	rec.HPOccBytes = 0
+	var hpMask uint64
+	for gi := 0; gi < k; gi++ {
+		rec.HPBWGbps += p.GroupBW(gi)
+		hpMask |= sys.CBM(gi)
+	}
+	for _, g := range p.Groups {
+		if g.Clos < k {
+			rec.HPOccBytes += g.OccupancyBytes
+		}
+	}
+	rec.TotalGbps = p.TotalGbps
+	rec.Saturated = r.threshold > 0 && p.TotalGbps > r.threshold
+
+	// Aggregate outputs: the period's Cause is the last group decision's
+	// (folded in by onEvent); State has no single-machine meaning here.
+	rec.State = ""
+	rec.HPMask = hpMask
+	rec.BEMask = sys.CBM(beClos)
+	rec.HPWays = bits.OnesCount64(hpMask)
+
+	// Per-group records.
+	rec.Groups = r.groups[:k]
+	for gi := 0; gi < k; gi++ {
+		g := &r.groups[gi]
+		g.Group = gi
+		g.IPC = p.ClosMeanIPC(gi)
+		g.BWGbps = p.GroupBW(gi)
+		g.Ways = r.mc.GroupWays(gi)
+		g.Mask = sys.CBM(gi)
+		g.State = r.mc.GroupState(gi)
+	}
+
+	// Substrate annotations.
+	if r.cs != nil {
+		cur := r.cs.Stats()
+		rec.Faults = cur.Sub(r.prevFaults)
+		r.prevFaults = cur
+	} else {
+		rec.Faults = chaos.Stats{}
+	}
+	rec.Tolerated = false
+	rec.Guard = ""
+	rec.Err = ""
+	if observeErr != nil {
+		r.classify(observeErr)
+	}
+
+	r.sink.Emit(rec)
+	for gi := range r.groups {
+		r.dec[gi] = r.dec[gi][:0]
+		r.groups[gi].Decisions = nil
+		r.groups[gi].Cause = ""
+	}
+	rec.Groups = nil
+	rec.Cause = ""
+	rec.Reclustered = false
+}
+
+// classify mirrors Recorder.classify for the multi recorder.
+func (r *MultiRecorder) classify(err error) {
+	if errors.Is(err, chaos.ErrInjected) {
+		r.rec.Tolerated = true
+		r.rec.Cause = "chaos-masked"
+	}
+	var ie *invariant.Error
+	if errors.As(err, &ie) {
+		r.rec.Guard = ie.Error()
+		r.rec.Cause = "guard-veto"
+	} else if !r.rec.Tolerated {
+		r.rec.Err = err.Error()
+	}
+}

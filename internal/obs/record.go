@@ -35,6 +35,13 @@ import (
 // "schema" field; readers reject files with a different value.
 const Schema = "dicer-trace/v1"
 
+// SchemaV2 is the multi-HP trace format: the v1 layout plus per-CLOS-
+// group header fields (HPs, SLOs, CLOSBudget, Grouping) and per-period
+// group records. Every v2 field is optional in both Header and Record,
+// so v1 traces parse unchanged and v1 writers remain byte-identical;
+// ReadTrace accepts both versions.
+const SchemaV2 = "dicer-trace/v2"
+
 // maxDecisions bounds the controller decision events recorded per period.
 // The DICER state machine emits at most two per Observe (e.g. "saturated"
 // followed by "sample"); four leaves headroom without heap allocation.
@@ -73,6 +80,17 @@ type Header struct {
 	// Controller is the DICER configuration, when the traced policy is
 	// (or wraps) a DICER controller; nil otherwise. Replay requires it.
 	Controller *core.Config `json:"controller,omitempty"`
+
+	// v2 (multi-HP) fields — absent in v1 traces.
+	//
+	// HPs names the HP applications in app order (HP is then unused);
+	// SLOs carries each app's target fraction of alone performance.
+	HPs  []string  `json:"hps,omitempty"`
+	SLOs []float64 `json:"slos,omitempty"`
+	// CLOSBudget is the CLOS-id budget the grouping plan ran under, and
+	// Grouping the policy that produced it (clustered/per-app/single).
+	CLOSBudget int    `json:"clos_budget,omitempty"`
+	Grouping   string `json:"grouping,omitempty"`
 }
 
 // FaultFree reports whether the trace was recorded without fault
@@ -96,11 +114,11 @@ type Record struct {
 	TimeSec float64 `json:"time_sec"`
 
 	// Inputs: the counters the controller read this period.
-	HPIPC       float64 `json:"hp_ipc"`
-	BEMeanIPC   float64 `json:"be_mean_ipc"`
-	HPBWGbps    float64 `json:"hp_bw_gbps"`
-	TotalGbps   float64 `json:"total_bw_gbps"`
-	HPOccBytes  float64 `json:"hp_occ_bytes"`
+	HPIPC      float64 `json:"hp_ipc"`
+	BEMeanIPC  float64 `json:"be_mean_ipc"`
+	HPBWGbps   float64 `json:"hp_bw_gbps"`
+	TotalGbps  float64 `json:"total_bw_gbps"`
+	HPOccBytes float64 `json:"hp_occ_bytes"`
 	// Saturated is the period's saturation verdict: total bandwidth above
 	// the controller's MemBW_threshold. Always false for policies without
 	// a DICER controller (no threshold to compare against).
@@ -139,6 +157,27 @@ type Record struct {
 	Guard string `json:"guard,omitempty"`
 	// Err carries any other error the period's observation produced.
 	Err string `json:"err,omitempty"`
+
+	// Groups holds per-CLOS-group observations and decisions for multi-
+	// HP (v2) traces; empty in v1 traces. Like Decisions it aliases
+	// recorder scratch — retaining sinks must deep-copy (clone does).
+	Groups []GroupRecord `json:"groups,omitempty"`
+	// Reclustered marks a period in which the grouping plan changed and
+	// the per-group state machines restarted.
+	Reclustered bool `json:"reclustered,omitempty"`
+}
+
+// GroupRecord is one CLOS group's slice of a v2 record: the counters the
+// group's state machine read and what it decided.
+type GroupRecord struct {
+	Group     int      `json:"group"`
+	IPC       float64  `json:"ipc"`
+	BWGbps    float64  `json:"bw_gbps"`
+	Ways      int      `json:"ways"`
+	Mask      uint64   `json:"mask"`
+	State     string   `json:"state,omitempty"`
+	Decisions []string `json:"decisions,omitempty"`
+	Cause     string   `json:"cause,omitempty"`
 }
 
 // clone returns a deep copy whose Decisions no longer alias the
@@ -147,6 +186,14 @@ func (r *Record) clone() Record {
 	out := *r
 	if len(r.Decisions) > 0 {
 		out.Decisions = append([]string(nil), r.Decisions...)
+	}
+	if len(r.Groups) > 0 {
+		out.Groups = append([]GroupRecord(nil), r.Groups...)
+		for i := range out.Groups {
+			if len(out.Groups[i].Decisions) > 0 {
+				out.Groups[i].Decisions = append([]string(nil), out.Groups[i].Decisions...)
+			}
+		}
 	}
 	return out
 }

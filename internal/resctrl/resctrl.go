@@ -128,6 +128,21 @@ func (e *Emu) SetMBACap(clos int, gbps float64) error {
 // LinkCapacityGbps implements System.
 func (e *Emu) LinkCapacityGbps() float64 { return e.r.Machine().Link.CapacityGBps }
 
+// MoveCore reassigns the process on a core to another class of service —
+// the emulated write of a PID into a different resctrl group's tasks
+// file. The process keeps its execution position and counters; the
+// multi-HP controller's re-clustering path uses this. CoreMover
+// (below) is the optional-capability interface controllers probe for.
+func (e *Emu) MoveCore(core, clos int) error { return e.r.SetClos(core, clos) }
+
+// CoreMover is an optional System extension: systems that can move a
+// running core between CLOS groups (all resctrl-style substrates can,
+// via the tasks file) implement it. Controllers that re-cluster probe
+// for it with a type assertion and hold the grouping static when absent.
+type CoreMover interface {
+	MoveCore(core, clos int) error
+}
+
 // ParkCore suspends the process on a core (thread packing). This is not an
 // RDT capability — it models the OS-scheduler actuator that the paper's §6
 // BE-count extension relies on; internal/ext declares the CoreParker

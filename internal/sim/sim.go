@@ -243,6 +243,24 @@ func (r *Runner) Detach(core int) error {
 	return nil
 }
 
+// SetClos moves the process on core to a different class of service —
+// the emulated equivalent of writing a PID into another resctrl group's
+// tasks file. Unlike Detach+Attach, the process keeps its phase position
+// and cumulative counters; only its cache/bandwidth class changes. The
+// multi-HP controller uses this to re-cluster HP apps between CLOS
+// groups without perturbing their measured progress.
+func (r *Runner) SetClos(core, clos int) error {
+	if core < 0 || core >= len(r.coreIndex) || r.coreIndex[core] < 0 {
+		return fmt.Errorf("sim: no process on core %d", core)
+	}
+	if clos < 0 || clos >= len(r.masks) {
+		return fmt.Errorf("sim: clos %d out of range [0,%d)", clos, len(r.masks))
+	}
+	r.procs[r.coreIndex[core]].clos = clos
+	r.invalidate()
+	return nil
+}
+
 // SetMask installs a capacity bit-mask for clos (CAT semantics: non-zero,
 // contiguous, within the implemented ways).
 func (r *Runner) SetMask(clos int, mask uint64) error {
