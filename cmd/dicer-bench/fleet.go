@@ -3,25 +3,39 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"dicer/internal/experiments"
 	"dicer/internal/fleet"
 )
 
-// fleetRecord is the perf-trajectory record BENCH_fleet.json carries: one
-// uncached fleet comparison (every scheduler under DICER nodes on a
-// shared arrival trace), so future PRs can compare stepping throughput
-// and placement quality like for like.
+// fleetRecord is the perf-trajectory record BENCH_fleet.json carries.
+// Two measurements share the record: the 4-node scheduler comparison
+// (placement-quality headline, unchanged shape since the fleet landed)
+// and the production-scale run — a 1000-node multi-HP cluster with the
+// SLO-burn migration loop enabled, stepped through the sharded
+// executor. RealTimeFactor is simulated seconds per wall second
+// (periods × PeriodSec ÷ wall); above 1 the simulator outruns the
+// cluster it models.
 type fleetRecord struct {
-	Benchmark       string  `json:"benchmark"`
+	Benchmark string `json:"benchmark"`
+
 	Nodes           int     `json:"nodes"`
 	Periods         int     `json:"periods"`
-	Cells           int     `json:"cells"`
+	Workers         int     `json:"workers"`
 	NodePeriods     int64   `json:"node_periods"`
 	WallSeconds     float64 `json:"wall_seconds"`
 	NsPerNodePeriod float64 `json:"ns_per_node_period"`
+	RealTimeFactor  float64 `json:"real_time_factor"`
+
+	ScaleFleetEFU    float64 `json:"scale_fleet_efu"`
+	ScaleSLOViol     int     `json:"scale_slo_violation_periods"`
+	ScaleDone        int     `json:"scale_done"`
+	ScaleMigrations  int     `json:"scale_migrations"`
+	ScaleEvicted     int     `json:"scale_evicted"`
 
 	HeadroomEFU      float64 `json:"headroom_fleet_efu"`
 	RandomEFU        float64 `json:"random_fleet_efu"`
@@ -31,9 +45,37 @@ type fleetRecord struct {
 	HeadroomRejected int     `json:"headroom_rejected"`
 }
 
-// writeFleetJSON runs the scheduler comparison on a fresh suite and
-// records wall time per simulated node-period plus the placement-quality
-// headline (headroom vs random).
+// scaleFleetConfig is the pinned production-scale configuration: 1000
+// two-HP nodes under headroom placement and per-node DICER, arrivals
+// scaled to keep roughly half the BE capacity busy, burn-rate migration
+// on. Autoscaling stays off so node_periods is exactly nodes × periods
+// and the throughput figure is comparable across PRs.
+func scaleFleetConfig(cfg experiments.Config, workers int, alone func(string) (float64, error)) fleet.Config {
+	return fleet.Config{
+		Nodes:          1000,
+		HPsPerNode:     2,
+		Machine:        cfg.Machine,
+		Policy:         "DICER",
+		DICER:          cfg.DICER,
+		PeriodSec:      cfg.PeriodSec,
+		StepsPerPeriod: cfg.StepsPerPeriod,
+		HorizonPeriods: 60,
+		Scheduler:      "headroom",
+		QueueCap:       2000,
+		Workers:        workers,
+		Migration:      fleet.MigrationConfig{Enabled: true},
+		Arrivals: fleet.ArrivalConfig{
+			Seed: 42, RatePerPeriod: 400, MeanDurationPeriods: 10,
+			ClassWeights: [4]float64{0.5, 0.25, 0.15, 0.1},
+		},
+		AloneIPC: alone,
+	}
+}
+
+// writeFleetJSON measures both fleet benchmarks on a fresh suite. The
+// 4-node scheduler comparison runs first; besides its quality headline
+// it warms the suite's alone-run memo, so the timed 1000-node run pays
+// for stepping, placement and migration — not for alone references.
 func writeFleetJSON(cfg experiments.Config, path string) error {
 	suite, err := experiments.NewSuite(cfg)
 	if err != nil {
@@ -49,33 +91,53 @@ func writeFleetJSON(cfg experiments.Config, path string) error {
 		QueueCap: 40,
 		Policies: []experiments.PolicyName{experiments.DICER},
 	}
-
-	start := time.Now()
 	cells, err := suite.FleetSuite(fc)
+	if err != nil {
+		return err
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	scale := scaleFleetConfig(cfg, workers, suite.AloneIPC)
+	c, err := fleet.New(scale)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := c.Run()
 	if err != nil {
 		return err
 	}
 	wall := time.Since(start)
 
 	rec := fleetRecord{
-		Benchmark:   "fleetSchedulers",
-		Nodes:       fc.Nodes,
-		Periods:     fc.HorizonPeriods,
-		Cells:       len(cells),
-		NodePeriods: int64(len(cells)) * int64(fc.Nodes) * int64(fc.HorizonPeriods),
+		Benchmark:   "fleetScale1000",
+		Nodes:       scale.Nodes,
+		Periods:     scale.HorizonPeriods,
+		Workers:     workers,
+		NodePeriods: int64(scale.Nodes) * int64(scale.HorizonPeriods),
 		WallSeconds: wall.Seconds(),
+
+		ScaleFleetEFU:   res.FleetEFU,
+		ScaleSLOViol:    res.SLOViolationPeriods,
+		ScaleDone:       res.Done,
+		ScaleMigrations: res.Migrations,
+		ScaleEvicted:    res.Evicted,
 	}
 	rec.NsPerNodePeriod = float64(wall.Nanoseconds()) / float64(rec.NodePeriods)
-	for _, c := range cells {
-		switch c.Scheduler {
+	rec.RealTimeFactor = float64(scale.HorizonPeriods) * scale.PeriodSec / wall.Seconds()
+	for _, cell := range cells {
+		switch cell.Scheduler {
 		case "headroom":
-			rec.HeadroomEFU = c.Result.FleetEFU
-			rec.HeadroomSLOViol = c.Result.SLOViolationPeriods
-			rec.HeadroomP95Wait = c.Result.P95QueueWait
-			rec.HeadroomRejected = c.Result.Rejected
+			rec.HeadroomEFU = cell.Result.FleetEFU
+			rec.HeadroomSLOViol = cell.Result.SLOViolationPeriods
+			rec.HeadroomP95Wait = cell.Result.P95QueueWait
+			rec.HeadroomRejected = cell.Result.Rejected
 		case "random":
-			rec.RandomEFU = c.Result.FleetEFU
-			rec.RandomSLOViol = c.Result.SLOViolationPeriods
+			rec.RandomEFU = cell.Result.FleetEFU
+			rec.RandomSLOViol = cell.Result.SLOViolationPeriods
 		}
 	}
 
@@ -86,9 +148,81 @@ func writeFleetJSON(cfg experiments.Config, path string) error {
 	if err := os.WriteFile(path, append(body, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("fleet: %d cells x %d nodes x %d periods, %.2f s wall, %.0f ns/node-period\n"+
-		"       headroom EFU %.4f (slo %d) vs random EFU %.4f (slo %d)\nwrote %s\n",
-		rec.Cells, rec.Nodes, rec.Periods, rec.WallSeconds, rec.NsPerNodePeriod,
-		rec.HeadroomEFU, rec.HeadroomSLOViol, rec.RandomEFU, rec.RandomSLOViol, path)
+	fmt.Printf("fleet: %d nodes x %d periods (%d workers), %.2f s wall, %.0f ns/node-period, %.1fx real time\n"+
+		"       scale EFU %.4f (slo %d, %d migrations evicting %d), headroom EFU %.4f vs random %.4f\nwrote %s\n",
+		rec.Nodes, rec.Periods, rec.Workers, rec.WallSeconds, rec.NsPerNodePeriod, rec.RealTimeFactor,
+		rec.ScaleFleetEFU, rec.ScaleSLOViol, rec.ScaleMigrations, rec.ScaleEvicted,
+		rec.HeadroomEFU, rec.RandomEFU, path)
+	return nil
+}
+
+// writeFleetGrid runs the control grid behind -fleetgrid: each control
+// mode (static / migrate / autoscale / both) crossed with each node
+// chaos schedule over the saturating stream-heavy mix the hypothesis
+// registry uses, rendered as the EXPERIMENTS.md migration-vs-static
+// table.
+func writeFleetGrid(cfg experiments.Config, w io.Writer) error {
+	suite, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+	cells, err := suite.FleetControlGrid(experiments.FleetControlConfig{
+		HorizonPeriods: cfg.HorizonPeriods,
+		Arrivals: fleet.ArrivalConfig{
+			Seed: 42, RatePerPeriod: 3, MeanDurationPeriods: 10,
+			ClassWeights: [4]float64{0.5, 0.25, 0.15, 0.1},
+		},
+		QueueCap:  40,
+		ChaosSeed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	return experiments.FleetControlTable(cells).Render(w)
+}
+
+// checkFleetRegression compares the freshly written record at freshPath
+// against the committed record at againstPath and fails when
+// ns_per_node_period regresses by more than pct percent, or when the
+// simulator falls behind real time. Quality figures are not gated here
+// (they are pinned by the golden and hypothesis suites); this gate
+// enforces the stepping-throughput trajectory only.
+func checkFleetRegression(freshPath, againstPath string, pct float64) error {
+	read := func(path string) (fleetRecord, error) {
+		var r fleetRecord
+		body, err := os.ReadFile(path)
+		if err != nil {
+			return r, err
+		}
+		return r, json.Unmarshal(body, &r)
+	}
+	fresh, err := read(freshPath)
+	if err != nil {
+		return err
+	}
+	committed, err := read(againstPath)
+	if err != nil {
+		return err
+	}
+	limit := 1 + pct/100
+	fail := false
+	report := func(name string, fresh, committed float64) {
+		status := "ok"
+		if committed > 0 && fresh > committed*limit {
+			status = "REGRESSION"
+			fail = true
+		}
+		fmt.Printf("regress-check %-18s fresh %12.4f  committed %12.4f  (%+6.1f%%)  %s\n",
+			name, fresh, committed, 100*(fresh/committed-1), status)
+	}
+	report("ns_per_node_period", fresh.NsPerNodePeriod, committed.NsPerNodePeriod)
+	if fresh.RealTimeFactor < 1 {
+		fmt.Printf("regress-check %-18s fresh %12.4f  (must stay above 1)  REGRESSION\n",
+			"real_time_factor", fresh.RealTimeFactor)
+		fail = true
+	}
+	if fail {
+		return fmt.Errorf("fleet bench regressed more than %.0f%% vs %s", pct, againstPath)
+	}
 	return nil
 }

@@ -37,11 +37,12 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		sweepJSON  = flag.String("sweepjson", "", "measure the uncached 59x59 sweep and write {wall, ns/step, allocs/step, parallel efficiency} JSON to this file, then exit")
-		fleetJSON  = flag.String("fleetjson", "", "measure the fleet scheduler comparison and write {wall, ns/node-period, EFU} JSON to this file, then exit")
+		fleetJSON  = flag.String("fleetjson", "", "measure the fleet benchmarks (1000-node scale run + scheduler comparison) and write {wall, ns/node-period, real_time_factor, EFU} JSON to this file, then exit")
+		fleetGrid  = flag.Bool("fleetgrid", false, "run the fleet control grid (static/migrate/autoscale/both x node chaos) and render the table, then exit")
 		hypoJSON   = flag.String("hypojson", "", "run the hypothesis registry with a reduced seed set and write {wall, s/cell, statuses} JSON to this file, then exit")
 		hypoSeeds  = flag.Int("hyposeeds", 2, "seeds per hypothesis for -hypojson")
-		against    = flag.String("against", "", "with -sweepjson: compare the fresh record against this committed BENCH_sweep.json and exit non-zero on regression")
-		regressPct = flag.Float64("regress-pct", 15, "with -against: tolerated ns_per_step / allocs_per_step regression in percent")
+		against    = flag.String("against", "", "with -sweepjson or -fleetjson: compare the fresh record against this committed record and exit non-zero on regression")
+		regressPct = flag.Float64("regress-pct", 15, "with -against: tolerated regression in percent (ns_per_step / allocs_per_step, or ns_per_node_period)")
 	)
 	flag.Parse()
 
@@ -92,6 +93,17 @@ func main() {
 	}
 	if *fleetJSON != "" {
 		if err := writeFleetJSON(cfg, *fleetJSON); err != nil {
+			fatal(err)
+		}
+		if *against != "" {
+			if err := checkFleetRegression(*fleetJSON, *against, *regressPct); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	if *fleetGrid {
+		if err := writeFleetGrid(cfg, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return

@@ -8,6 +8,7 @@
 //	dicer-fleet -nodes 4 -periods 120 -scheduler headroom
 //	dicer-fleet -scheduler random -rate 2.5 -trace-out cluster.jsonl
 //	dicer-fleet -node-chaos node-storm -chaos-seed 7 -summary-json summary.json
+//	dicer-fleet -migrate -autoscale -max-nodes 8 -node-chaos node-storm
 //	dicer-fleet -serve :9091
 package main
 
@@ -40,6 +41,11 @@ type fleetParams struct {
 
 	chaosName string
 	chaosSeed int64
+
+	migrate   bool
+	autoscale bool
+	maxNodes  int
+	minNodes  int
 
 	pprof bool
 }
@@ -76,6 +82,12 @@ func (p fleetParams) config() (fleet.Config, error) {
 		}
 		cfg.NodeChaos = sched
 	}
+	if p.migrate {
+		cfg.Migration = fleet.MigrationConfig{Enabled: true}
+	}
+	if p.autoscale {
+		cfg.Autoscale = fleet.AutoscaleConfig{Enabled: true, MaxNodes: p.maxNodes, MinNodes: p.minNodes}
+	}
 	return cfg, nil
 }
 
@@ -105,6 +117,10 @@ func main() {
 	flag.Float64Var(&p.stream, "stream-weight", 0.5, "arrival weight of streaming apps (rest split evenly; 0 = catalog default mix)")
 	flag.StringVar(&p.chaosName, "node-chaos", "none", "node fault schedule: none | "+strings.Join(nodeChaosNames(), " | "))
 	flag.Int64Var(&p.chaosSeed, "chaos-seed", 1, "seed for the node fault stream")
+	flag.BoolVar(&p.migrate, "migrate", false, "evict BE jobs off nodes whose SLO burn-rate alert fires")
+	flag.BoolVar(&p.autoscale, "autoscale", false, "enable the repartition-first autoscaler (repack, then add nodes; drain when idle)")
+	flag.IntVar(&p.maxNodes, "max-nodes", 0, "with -autoscale: working-fleet upper bound (0 = 2x -nodes)")
+	flag.IntVar(&p.minNodes, "min-nodes", 0, "with -autoscale: working-fleet lower bound (0 = -nodes)")
 	flag.BoolVar(&p.pprof, "pprof", false, "with -serve: also expose /debug/pprof/ profiling endpoints")
 	var (
 		traceOut    = flag.String("trace-out", "", "write the JSONL cluster trace to this file")
@@ -172,6 +188,14 @@ func runBatch(p fleetParams, traceOut, summaryJSON string, every int) error {
 	if res.Freezes > 0 || res.Losses > 0 {
 		fmt.Printf("  chaos              %d freezes, %d losses, %d re-placements\n",
 			res.Freezes, res.Losses, res.Requeued)
+	}
+	if res.Migrations > 0 {
+		fmt.Printf("  migration          %d burn-rate migrations evicting %d BE jobs\n",
+			res.Migrations, res.Evicted)
+	}
+	if res.Repacks > 0 || res.ScaleUps > 0 || res.ScaleDowns > 0 {
+		fmt.Printf("  autoscale          %d repacks, %d scale-ups (+%d nodes), %d scale-downs (%d retired), %d nodes at end\n",
+			res.Repacks, res.ScaleUps, res.NodesAdded, res.ScaleDowns, res.NodesRetired, res.NodesEnd)
 	}
 	if traceOut != "" {
 		fmt.Printf("  trace              %s\n", traceOut)

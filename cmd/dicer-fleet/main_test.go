@@ -94,6 +94,58 @@ func TestGoldenClusterTrace(t *testing.T) {
 	}
 }
 
+// goldenMigrationParams layers the control loops onto the pinned
+// configuration: heavier arrivals so the burn-rate alerts and the
+// autoscaler's pressure signal actually trip, migration and autoscaling
+// enabled.
+func goldenMigrationParams() fleetParams {
+	p := goldenParams()
+	p.rate = 4
+	p.periods = 60
+	p.migrate = true
+	p.autoscale = true
+	return p
+}
+
+// TestGoldenMigrationTrace pins the control-loop cluster trace
+// byte-for-byte and asserts it actually exercises the loops: at least
+// one slo-burn-migration eviction and one autoscaler action must appear
+// as first-class fleet events, so the golden cannot silently degrade
+// into a static trace.
+func TestGoldenMigrationTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "migration.jsonl")
+	if err := runBatch(goldenMigrationParams(), path, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cause := range []string{fleet.CauseMigration, fleet.CauseRepack} {
+		if !bytes.Contains(got, []byte(`"cause":"`+cause+`"`)) {
+			t.Errorf("trace has no %q event; the golden no longer exercises the control loops", cause)
+		}
+	}
+	golden := filepath.Join("testdata", "migration.jsonl.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("migration trace drifted from golden (%d vs %d bytes); re-run with -update if intended",
+			len(got), len(want))
+	}
+}
+
 // TestBatchTraceDeterministic runs the batch path twice and compares the
 // cluster traces byte-for-byte.
 func TestBatchTraceDeterministic(t *testing.T) {

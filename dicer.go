@@ -163,6 +163,17 @@ type (
 	ClusterRecord = fleet.ClusterRecord
 	// ClusterTraceHeader is a fleet trace's first JSONL line.
 	ClusterTraceHeader = fleet.TraceHeader
+	// FleetMigrationConfig parameterises the SLO-burn migration loop:
+	// multi-window burn-rate alerts evicting BE jobs off burning nodes,
+	// with cooldown and quarantine hysteresis.
+	FleetMigrationConfig = fleet.MigrationConfig
+	// FleetAutoscaleConfig parameterises the repartition-first
+	// autoscaler: repack existing nodes before adding any, drain and
+	// retire idle ones.
+	FleetAutoscaleConfig = fleet.AutoscaleConfig
+	// FleetEvent is one control-loop action recorded in a cluster
+	// record (migration, repack, scale up/down).
+	FleetEvent = fleet.FleetEvent
 	// FleetExporter aggregates cluster records into Prometheus text.
 	FleetExporter = metrics.FleetExporter
 	// NodeChaosSchedule is a deterministic node freeze/loss schedule.
@@ -355,6 +366,14 @@ func NewSLOMonitor(ipcAlone, slo float64, n int, alarmBelow float64) *SLOMonitor
 // FleetResult. Identical configurations produce byte-identical cluster
 // traces. See cmd/dicer-fleet for the CLI.
 func NewFleet(cfg FleetConfig) (*FleetCluster, error) { return fleet.New(cfg) }
+
+// Fleet control-loop event causes, as recorded in ClusterRecord.Events.
+const (
+	FleetCauseMigration = fleet.CauseMigration
+	FleetCauseScaleUp   = fleet.CauseScaleUp
+	FleetCauseScaleDown = fleet.CauseScaleDown
+	FleetCauseRepack    = fleet.CauseRepack
+)
 
 // FleetSchedulerByName builds a placement scheduler: "random",
 // "least-loaded", or "headroom" (predicted-pressure + bandwidth-headroom

@@ -360,6 +360,27 @@ func (mc *MultiController) maybeRecluster(p resctrl.Period) error {
 	return nil
 }
 
+// Replan recomputes the clustering against the freshest specs and
+// installs it when membership or budgets changed, reporting whether a
+// new plan went in. This is the fleet autoscaler's repartition-first
+// hook: unlike the periodic re-cluster schedule it runs on demand,
+// outside Observe, so an external controller can force a repack of the
+// node's cache groups before resorting to added capacity. Group state
+// restarts on change, exactly as a scheduled re-cluster would.
+func (mc *MultiController) Replan() (bool, error) {
+	plan, err := mc.planNow(true)
+	if err != nil {
+		return false, err
+	}
+	if samePlan(mc.plan, plan) {
+		return false, nil
+	}
+	if err := mc.installPlan(plan); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
 // samePlan reports whether two plans group the same apps together with
 // the same budgets (group order is deterministic, so index-wise
 // comparison suffices).

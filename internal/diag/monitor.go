@@ -481,6 +481,11 @@ func (m *FleetMonitor) ObserveRecord(rec *fleet.ClusterRecord) {
 	lost := 0
 	for i := range rec.Nodes {
 		hb := &rec.Nodes[i]
+		if hb.Retired {
+			// Autoscaled-away nodes leave the population entirely: they
+			// are neither live (no readings) nor lost (not a failure).
+			continue
+		}
 		n := m.node(hb.Node)
 		n.lost = hb.Lost
 		if hb.Lost {

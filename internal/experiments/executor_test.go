@@ -1,98 +1,15 @@
 package experiments
 
-import (
-	"errors"
-	"fmt"
-	"sync"
-	"sync/atomic"
-	"testing"
-)
+import "testing"
 
-func TestExecuteCoversEveryIndexOnce(t *testing.T) {
-	for _, workers := range []int{1, 2, 3, 7, 16, 100} {
-		for _, n := range []int{0, 1, 2, 5, 16, 257} {
-			counts := make([]atomic.Int32, n)
-			if err := Execute(n, workers, func(i int) error {
-				counts[i].Add(1)
-				return nil
-			}); err != nil {
-				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
-			}
-			for i := range counts {
-				if got := counts[i].Load(); got != 1 {
-					t.Fatalf("n=%d workers=%d: index %d ran %d times", n, workers, i, got)
-				}
-			}
-		}
-	}
-}
-
-func TestExecuteStealsSkewedShards(t *testing.T) {
-	// All the work lives in the first shard's index range; with more
-	// workers than busy indices, stealing must still cover everything.
-	var ran atomic.Int32
-	var mu sync.Mutex
-	seen := map[int]bool{}
-	if err := Execute(64, 8, func(i int) error {
-		ran.Add(1)
-		mu.Lock()
-		seen[i] = true
-		mu.Unlock()
-		return nil
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if ran.Load() != 64 || len(seen) != 64 {
-		t.Fatalf("covered %d indices (%d calls), want 64", len(seen), ran.Load())
-	}
-}
-
-func TestExecuteReportsLowestIndexError(t *testing.T) {
-	fail := map[int]bool{3: true, 11: true, 40: true}
-	for _, workers := range []int{1, 4, 16} {
-		err := Execute(48, workers, func(i int) error {
-			if fail[i] {
-				return fmt.Errorf("index %d failed", i)
-			}
-			return nil
-		})
-		if err == nil || err.Error() != "index 3 failed" {
-			t.Fatalf("workers=%d: got %v, want the lowest-index error", workers, err)
-		}
-	}
-}
-
-func TestExecuteRunsEverythingDespiteErrors(t *testing.T) {
-	var ran atomic.Int32
-	err := Execute(32, 4, func(i int) error {
-		ran.Add(1)
-		if i%2 == 0 {
-			return errors.New("boom")
-		}
-		return nil
-	})
-	if err == nil {
-		t.Fatal("expected an error")
-	}
-	if ran.Load() != 32 {
-		t.Fatalf("ran %d of 32 indices; every index must run even when others fail", ran.Load())
-	}
-}
-
-func TestExecuteZeroAndNegativeN(t *testing.T) {
-	if err := Execute(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
-		t.Fatal(err)
-	}
-	if err := Execute(-3, 0, func(int) error { return errors.New("must not run") }); err != nil {
-		t.Fatal(err)
-	}
-}
-
-// ---------------------------------------------------------------------------
-// Zero-alloc guards for the engine's hot path. The 59×59 sweep performs
-// ~7k memoised runs and ~2.3M steps; a single allocation on the warm
-// lookup or the result-slot write multiplies into measurable GC load, so
-// both are pinned at zero.
+// The executor's unit tests (coverage, stealing, error ordering, edge
+// cases) live with the implementation in internal/par. What stays here
+// are the guards that tie the executor to this package's hot path.
+//
+// Zero-alloc guards: the 59×59 sweep performs ~7k memoised runs and
+// ~2.3M steps; a single allocation on the warm lookup or the
+// result-slot write multiplies into measurable GC load, so both are
+// pinned at zero.
 
 func TestMemoLookupWarmZeroAlloc(t *testing.T) {
 	s := suite(t)

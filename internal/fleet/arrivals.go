@@ -140,12 +140,30 @@ func GenArrivals(cfg ArrivalConfig, horizonPeriods int) ([]Arrival, error) {
 	return out, nil
 }
 
-// poisson draws a Poisson variate by Knuth's product method — exact and
-// cheap at the per-period rates the fleet uses (≲ 10).
+// poisson draws a Poisson variate. Knuth's product method compares a
+// running uniform product against exp(-mean), which underflows to zero
+// near mean ≈ 745 and hangs the loop — reachable at 1000-node arrival
+// rates. Means above a safe chunk are drawn as a sum of independent
+// Poisson chunks (the sum of independent Poissons is Poisson of the
+// summed mean, so the distribution stays exact); small means take the
+// single-chunk path with draw order identical to the original, keeping
+// every existing arrival trace byte-for-byte.
 func poisson(rng *rand.Rand, mean float64) int {
 	if mean <= 0 {
 		return 0
 	}
+	const chunk = 30
+	k := 0
+	for mean > chunk {
+		k += poissonKnuth(rng, chunk)
+		mean -= chunk
+	}
+	return k + poissonKnuth(rng, mean)
+}
+
+// poissonKnuth is Knuth's product method, exact and cheap for the
+// chunk-bounded means it is given (expected draws ≈ mean + 1).
+func poissonKnuth(rng *rand.Rand, mean float64) int {
 	l := math.Exp(-mean)
 	k := 0
 	p := 1.0

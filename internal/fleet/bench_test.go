@@ -53,7 +53,7 @@ func BenchmarkFleetPlacement(b *testing.B) {
 	job := &Job{Profile: c.nodes[0].cfg.HPs[0]}
 	views := make([]NodeView, 0, len(c.nodes))
 	for i, n := range c.nodes {
-		views = append(views, n.view(c.lastGbps[i], 0))
+		views = append(views, n.view(c.lastGbps[i]))
 	}
 	sched := HeadroomScheduler{}
 	b.ReportAllocs()

@@ -19,6 +19,8 @@ func (r *ClusterRecord) Sample() metrics.FleetSample {
 		Running:       r.Running,
 		Freezes:       r.Freezes,
 		Losses:        r.Losses,
+		Evicted:       r.Evicted,
+		NodesLive:     r.NodesLive,
 		SLOViolations: r.SLOViolations,
 		FleetEFU:      r.FleetEFU,
 	}
@@ -27,6 +29,8 @@ func (r *ClusterRecord) Sample() metrics.FleetSample {
 			Node:        hb.Node,
 			Frozen:      hb.Frozen,
 			Lost:        hb.Lost,
+			Draining:    hb.Draining,
+			Retired:     hb.Retired,
 			BECount:     hb.BECount,
 			HPNorm:      hb.HPNorm,
 			TotalGbps:   hb.TotalGbps,

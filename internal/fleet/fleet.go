@@ -1,17 +1,20 @@
 // Package fleet consolidates the single-node DICER simulation into a
-// multi-node cluster: N simulated servers, each pinned to one
-// high-priority application under a node-local partitioning policy,
+// multi-node cluster: N simulated servers, each pinned to one or more
+// high-priority applications under a node-local partitioning policy,
 // absorbing an open-loop stream of best-effort jobs through admission
-// control and a pluggable placement scheduler. The cluster steps nodes
-// concurrently but aggregates deterministically, so the same
-// configuration always produces a byte-identical cluster trace.
+// control and a pluggable placement scheduler. On top of the static
+// cluster sit two control loops: an SLO-burn-driven migration engine
+// that evicts BE jobs off burning nodes, and a repartition-first
+// autoscaler that repacks existing nodes before adding capacity. The
+// cluster steps nodes through the sharded work-stealing executor but
+// aggregates deterministically, so the same configuration always
+// produces a byte-identical cluster trace at any worker count.
 package fleet
 
 import (
 	"fmt"
 	"io"
 	"runtime"
-	"sort"
 	"sync"
 
 	"dicer/internal/app"
@@ -20,12 +23,14 @@ import (
 	"dicer/internal/machine"
 	"dicer/internal/metrics"
 	"dicer/internal/obs"
+	"dicer/internal/par"
 	"dicer/internal/sim"
+	"dicer/internal/slo"
 )
 
 // Config describes a fleet run.
 type Config struct {
-	// Nodes is the cluster size. Default 4.
+	// Nodes is the initial cluster size. Default 4.
 	Nodes int
 	// Machine is the per-node platform. Zero value means machine.Default.
 	Machine machine.Machine
@@ -76,6 +81,17 @@ type Config struct {
 	// Workers bounds concurrent node stepping. Default GOMAXPROCS.
 	Workers int
 
+	// Migration enables SLO-burn-driven BE migration: each node's
+	// heartbeat stream feeds a multi-window burn-rate alerter, and a
+	// firing alert evicts the node's heaviest BE jobs back through the
+	// bounded-retry placement path.
+	Migration MigrationConfig
+	// Autoscale enables the repartition-first autoscaler: sustained
+	// admission-queue pressure first repacks existing nodes (cancelling
+	// drains, re-clustering multi-HP cache plans) and only then adds
+	// nodes; sustained idleness drains and retires them.
+	Autoscale AutoscaleConfig
+
 	// NodeChaos schedules node freeze/loss events.
 	NodeChaos chaos.NodeSchedule
 
@@ -90,8 +106,9 @@ type Config struct {
 	// OnPeriod, when set, observes each period's record (and the queue
 	// as of the period's end) after the record is written; serve mode
 	// feeds its exporter and endpoint snapshots from here. The callback
-	// runs outside the cluster's step lock, so it may call back into the
-	// cluster.
+	// runs outside the cluster's step lock on a private copy of the
+	// record (the cluster pools its record storage), so it may call back
+	// into the cluster and retain what it is given.
 	OnPeriod func(rec *ClusterRecord, queue []QueueEntry)
 }
 
@@ -148,6 +165,8 @@ func (cfg Config) withDefaults() Config {
 	if cfg.Workers == 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	cfg.Migration.withDefaults()
+	cfg.Autoscale.withDefaults(cfg.Nodes)
 	return cfg
 }
 
@@ -171,6 +190,20 @@ type Result struct {
 	Freezes int `json:"freezes"`
 	Losses  int `json:"losses"`
 
+	// Control-loop totals, omitted by static fleets: Migrations counts
+	// eviction decisions (Evicted the jobs they moved), Repacks the
+	// repartition-first actions, ScaleUps/ScaleDowns the capacity
+	// decisions (NodesAdded/NodesRetired the nodes they moved), and
+	// NodesEnd the working fleet size at the horizon.
+	Evicted      int `json:"evicted,omitempty"`
+	Migrations   int `json:"migrations,omitempty"`
+	Repacks      int `json:"repacks,omitempty"`
+	ScaleUps     int `json:"scale_ups,omitempty"`
+	ScaleDowns   int `json:"scale_downs,omitempty"`
+	NodesAdded   int `json:"nodes_added,omitempty"`
+	NodesRetired int `json:"nodes_retired,omitempty"`
+	NodesEnd     int `json:"nodes_at_end,omitempty"`
+
 	// FleetEFU is the per-period fleet EFU averaged over the horizon.
 	FleetEFU float64 `json:"fleet_efu"`
 	// SLOViolationPeriods counts (node, period) cells where a live HP
@@ -182,6 +215,26 @@ type Result struct {
 	// first placement over jobs that were placed at least once.
 	MeanQueueWait float64 `json:"mean_queue_wait_periods"`
 	P95QueueWait  float64 `json:"p95_queue_wait_periods"`
+}
+
+// stepOut is one node's per-period stepping result, written into an
+// index-addressed slot so aggregation order never depends on worker
+// scheduling.
+type stepOut struct {
+	hb   Heartbeat
+	live bool
+}
+
+// stepAcc accumulates one worker's integer counters across the nodes it
+// stepped. Integer sums are commutative, so merging the accumulators in
+// worker order is deterministic no matter which worker stole which
+// node; floats are NOT merged this way — they reduce in node-index
+// order from the heartbeat slots, because float addition does not
+// associate. Padded to a cache line against false sharing.
+type stepAcc struct {
+	done    int
+	running int
+	_       [48]byte
 }
 
 // Cluster is a running fleet. Build with New, drive with Run (or Step in
@@ -196,13 +249,43 @@ type Cluster struct {
 
 	alone map[string]float64
 
-	period    int
-	lastGbps  []float64 // per node, most recent live heartbeat
-	waits     []float64
-	efuSum    float64
-	res       Result
-	lw        *obs.LineWriter
-	lastRec   *ClusterRecord
+	period   int
+	lastGbps []float64 // per node, most recent live heartbeat
+	waits    []float64
+	efuSum   float64
+	res      Result
+	lw       *obs.LineWriter
+
+	// Migration state (alerters is nil unless Migration.Enabled):
+	// per-node burn-rate alerters, placement quarantine bounds, and
+	// eviction cooldown bounds.
+	alerters  []*slo.Alerter
+	quarUntil []int
+	migNext   []int
+
+	// Autoscaler state: consecutive pressure/idle periods, the decision
+	// cooldown bound, whether the repartition-first rung already ran for
+	// the current pressure episode, and how many nodes have retired.
+	pressStreak  int
+	idleStreak   int
+	coolUntil    int
+	repackTried  bool
+	retiredCount int
+
+	// Pooled per-period scratch: the record (heartbeats + events), the
+	// stepping slots, the per-worker accumulators, the placement views
+	// with their node-index owners, and the survivor queue. Steady-state
+	// stepping allocates nothing.
+	rec     ClusterRecord
+	haveRec bool
+	outs    []stepOut
+	accs    []stepAcc
+	views   []NodeView
+	owner   []int
+	kept    []*Job
+	stepP   int
+	stepFn  func(w, i int) error
+
 	stepMu    sync.Mutex
 	finished  bool
 	finishErr error
@@ -228,6 +311,12 @@ func New(cfg Config) (*Cluster, error) {
 	if err := cfg.NodeChaos.Validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.Migration.validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Autoscale.validate(); err != nil {
+		return nil, err
+	}
 	sched, err := NewScheduler(cfg.Scheduler, cfg.SchedSeed)
 	if err != nil {
 		return nil, err
@@ -242,42 +331,15 @@ func New(cfg Config) (*Cluster, error) {
 		sched:    sched,
 		arrivals: arrivals,
 		alone:    map[string]float64{},
-		lastGbps: make([]float64, cfg.Nodes),
+		accs:     make([]stepAcc, cfg.Workers),
 	}
+	c.stepFn = c.stepNode
 	for i := 0; i < cfg.Nodes; i++ {
-		// Node i hosts HPsPerNode consecutive entries of the round-robin
-		// HP stream; at HPsPerNode 1 this is exactly the legacy
-		// one-name-per-node assignment.
-		hps := make([]app.Profile, cfg.HPsPerNode)
-		alones := make([]float64, cfg.HPsPerNode)
-		for j := range hps {
-			hpName := cfg.HPs[(i*cfg.HPsPerNode+j)%len(cfg.HPs)]
-			hp, err := app.ByName(hpName)
-			if err != nil {
-				return nil, err
-			}
-			hpAlone, err := c.aloneIPC(hpName)
-			if err != nil {
-				return nil, err
-			}
-			hps[j], alones[j] = hp, hpAlone
-		}
-		n, err := NewNode(NodeConfig{
-			ID:             i,
-			Machine:        cfg.Machine,
-			HPs:            hps,
-			HPAloneIPCs:    alones,
-			CLOSBudget:     cfg.CLOSBudget,
-			Policy:         cfg.Policy,
-			DICER:          cfg.DICER,
-			SLO:            cfg.SLO,
-			PeriodSec:      cfg.PeriodSec,
-			StepsPerPeriod: cfg.StepsPerPeriod,
-		})
+		n, err := c.buildNode(i)
 		if err != nil {
 			return nil, err
 		}
-		c.nodes = append(c.nodes, n)
+		c.appendNode(n)
 	}
 
 	c.res = Result{
@@ -297,6 +359,52 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// buildNode constructs node id: it hosts HPsPerNode consecutive entries
+// of the round-robin HP stream (at HPsPerNode 1, exactly the legacy
+// one-name-per-node assignment). Autoscaled nodes extend the same
+// stream, so node identity is a pure function of its index.
+func (c *Cluster) buildNode(id int) (*Node, error) {
+	cfg := c.cfg
+	hps := make([]app.Profile, cfg.HPsPerNode)
+	alones := make([]float64, cfg.HPsPerNode)
+	for j := range hps {
+		hpName := cfg.HPs[(id*cfg.HPsPerNode+j)%len(cfg.HPs)]
+		hp, err := app.ByName(hpName)
+		if err != nil {
+			return nil, err
+		}
+		hpAlone, err := c.aloneIPC(hpName)
+		if err != nil {
+			return nil, err
+		}
+		hps[j], alones[j] = hp, hpAlone
+	}
+	return NewNode(NodeConfig{
+		ID:             id,
+		Machine:        cfg.Machine,
+		HPs:            hps,
+		HPAloneIPCs:    alones,
+		CLOSBudget:     cfg.CLOSBudget,
+		Policy:         cfg.Policy,
+		DICER:          cfg.DICER,
+		SLO:            cfg.SLO,
+		PeriodSec:      cfg.PeriodSec,
+		StepsPerPeriod: cfg.StepsPerPeriod,
+	})
+}
+
+// appendNode registers a node and grows every per-node array in step;
+// node index always equals node ID.
+func (c *Cluster) appendNode(n *Node) {
+	c.nodes = append(c.nodes, n)
+	c.lastGbps = append(c.lastGbps, 0)
+	c.quarUntil = append(c.quarUntil, 0)
+	c.migNext = append(c.migNext, 0)
+	if c.cfg.Migration.Enabled {
+		c.alerters = append(c.alerters, slo.NewAlerter(c.cfg.Migration.Alert))
+	}
+}
+
 // header builds the trace header.
 func (c *Cluster) header() TraceHeader {
 	arr := c.cfg.Arrivals
@@ -305,7 +413,7 @@ func (c *Cluster) header() TraceHeader {
 	if c.cfg.HPsPerNode > 1 {
 		hpsPerNode = c.cfg.HPsPerNode
 	}
-	return TraceHeader{
+	h := TraceHeader{
 		Schema:         TraceSchema,
 		Nodes:          c.cfg.Nodes,
 		CoresPerNode:   c.cfg.Machine.Cores,
@@ -323,6 +431,15 @@ func (c *Cluster) header() TraceHeader {
 		Arrivals:       arr,
 		NodeChaos:      c.cfg.NodeChaos.Name,
 	}
+	if c.cfg.Autoscale.Enabled {
+		a := c.cfg.Autoscale
+		h.Autoscale = &a
+	}
+	if c.cfg.Migration.Enabled {
+		m := c.cfg.Migration
+		h.Migration = &m
+	}
+	return h
 }
 
 // aloneIPC resolves a profile's full-LLC alone-run IPC, memoised.
@@ -372,14 +489,26 @@ func (c *Cluster) Done() bool {
 	return c.period >= c.cfg.HorizonPeriods
 }
 
+// clone deep-copies a record out of the cluster's pooled storage.
+func (r *ClusterRecord) clone() ClusterRecord {
+	out := *r
+	out.Nodes = append([]Heartbeat(nil), r.Nodes...)
+	if len(r.Events) > 0 {
+		out.Events = append([]FleetEvent(nil), r.Events...)
+	} else {
+		out.Events = nil
+	}
+	return out
+}
+
 // LastRecord returns a copy of the most recent period record, if any.
 func (c *Cluster) LastRecord() (ClusterRecord, bool) {
 	c.stepMu.Lock()
 	defer c.stepMu.Unlock()
-	if c.lastRec == nil {
+	if !c.haveRec {
 		return ClusterRecord{}, false
 	}
-	return *c.lastRec, true
+	return c.rec.clone(), true
 }
 
 // QueueEntry is one waiting job, as exposed on /queue.
@@ -412,23 +541,59 @@ func (c *Cluster) queueSnapshotLocked() []QueueEntry {
 	return out
 }
 
-// Step advances the cluster by one monitoring period: node chaos events
-// (freezes, losses with orphan re-queueing), arrivals and admission,
-// a placement pass, concurrent node stepping, then aggregation and trace
-// emission.
+// Step advances the cluster by one monitoring period: control decisions
+// (migration, autoscaling) from the previous period's signals, node
+// chaos events (freezes, losses with orphan re-queueing), arrivals and
+// admission, a placement pass, batched node stepping, then aggregation
+// and trace emission.
 func (c *Cluster) Step() error {
 	c.stepMu.Lock()
 	rec, err := c.stepLocked()
+	var cbRec *ClusterRecord
 	var q []QueueEntry
 	cb := c.cfg.OnPeriod
 	if err == nil && cb != nil {
+		// The callback's copy is taken under the lock: the pooled record
+		// is overwritten by the next step. (Pointer-typed so the copy is
+		// only materialised — and only escapes — when a callback is set.)
+		r := rec.clone()
+		cbRec = &r
 		q = c.queueSnapshotLocked()
 	}
 	c.stepMu.Unlock()
 	if err == nil && cb != nil {
-		cb(rec, q)
+		cb(cbRec, q)
 	}
 	return err
+}
+
+// stepNode steps node i on worker w for period c.stepP: the executor
+// callback. Each kind of node writes its heartbeat into the node's
+// index-addressed slot; integer counters go to the worker's
+// accumulator. A method value bound once at construction, so the
+// per-period executor call captures nothing.
+func (c *Cluster) stepNode(w, i int) error {
+	n := c.nodes[i]
+	o := &c.outs[i]
+	switch {
+	case n.retired:
+		*o = stepOut{hb: Heartbeat{Node: n.ID(), Retired: true}}
+	case n.lost:
+		*o = stepOut{hb: Heartbeat{Node: n.ID(), Lost: true}}
+	case n.Frozen(c.stepP):
+		*o = stepOut{hb: Heartbeat{Node: n.ID(), Frozen: true, Draining: n.draining, BECount: n.beCount}}
+		c.accs[w].running += n.beCount
+	default:
+		hb, done, err := n.StepPeriod(c.stepP)
+		if err != nil {
+			return err
+		}
+		hb.Draining = n.draining
+		*o = stepOut{hb: hb, live: true}
+		c.accs[w].done += done
+		c.accs[w].running += n.beCount
+	}
+	return nil
 }
 
 // stepLocked is Step's body; stepMu is held.
@@ -437,7 +602,20 @@ func (c *Cluster) stepLocked() (*ClusterRecord, error) {
 		return nil, fmt.Errorf("fleet: stepped past horizon %d", c.cfg.HorizonPeriods)
 	}
 	p := c.period
-	rec := &ClusterRecord{Period: p}
+	rec := &c.rec
+	*rec = ClusterRecord{Period: p, Nodes: rec.Nodes[:0], Events: rec.Events[:0]}
+
+	// Control pass, on the previous period's signals: migration first
+	// (its evictions add queue pressure the autoscaler should see), then
+	// the autoscaler.
+	if c.cfg.Migration.Enabled {
+		c.migrateLocked(p, rec)
+	}
+	if c.cfg.Autoscale.Enabled {
+		if err := c.autoscaleLocked(p, rec); err != nil {
+			return nil, err
+		}
+	}
 
 	// Node chaos: freezes pause a node (jobs hold their cores and their
 	// remaining service time); loss is permanent and orphans the node's
@@ -447,7 +625,7 @@ func (c *Cluster) stepLocked() (*ClusterRecord, error) {
 			continue
 		}
 		n := c.nodes[ev.Node]
-		if n.Lost() {
+		if n.lost || n.retired {
 			continue
 		}
 		switch ev.Fault {
@@ -503,104 +681,130 @@ func (c *Cluster) stepLocked() (*ClusterRecord, error) {
 		c.res.Admitted++
 	}
 
-	// Placement pass. Candidates are healthy nodes with a free core;
-	// pending accumulates the predicted bandwidth of this period's
-	// placements so successive picks see each other. The pass is
-	// sequential (FIFO over the queue) to keep the random scheduler's
-	// stream deterministic.
-	pending := make([]float64, len(c.nodes))
-	var kept []*Job
+	// Placement pass. Candidate views are built once into pooled slices,
+	// then updated in place as placements land — each placement folds
+	// the job's predicted bandwidth and capped footprint into its view
+	// (with the prediction taken against the pre-placement population,
+	// exactly what a fresh rebuild would see) and a filled node leaves
+	// the candidate list in order. The pass is sequential (FIFO over the
+	// queue) to keep the random scheduler's stream deterministic.
+	c.views = c.views[:0]
+	c.owner = c.owner[:0]
+	for i, n := range c.nodes {
+		if n.lost || n.retired || n.draining || n.Frozen(p) || n.FreeCores() <= 0 || p < c.quarUntil[i] {
+			continue
+		}
+		c.views = append(c.views, n.view(c.lastGbps[i]))
+		c.owner = append(c.owner, i)
+	}
+	kept := c.kept[:0]
 	for _, j := range c.queue {
 		if j.NotBefore > p {
 			kept = append(kept, j)
 			continue
 		}
-		var views []NodeView
-		var owner []int
-		for i, n := range c.nodes {
-			if n.Lost() || n.Frozen(p) || n.FreeCores() <= 0 {
-				continue
-			}
-			views = append(views, n.view(c.lastGbps[i], pending[i]))
-			owner = append(owner, i)
-		}
-		idx, ok := c.sched.Pick(j, views)
-		if !ok || idx < 0 || idx >= len(views) {
+		idx, ok := c.sched.Pick(j, c.views)
+		if !ok || idx < 0 || idx >= len(c.views) {
 			kept = append(kept, j)
 			continue
 		}
-		ni := owner[idx]
-		n := c.nodes[ni]
-		if err := n.Place(j, p); err != nil {
+		ni := c.owner[idx]
+		if err := c.nodes[ni].Place(j, p); err != nil {
 			return nil, err
 		}
 		j.Attempts++
-		pending[ni] += PredictJobGbps(c.cfg.Machine, j.Profile, views[idx].BEWays, views[idx].BECount)
+		v := &c.views[idx]
+		pred := PredictJobGbps(c.cfg.Machine, j.Profile, v.BEWays, v.BECount)
+		beBytes := c.cfg.Machine.WaysBytes(v.BEWays)
+		fp := j.Profile.MaxFootprint()
+		if fp > beBytes {
+			fp = beBytes
+		}
+		v.BECount++
+		v.FreeCores--
+		v.BEFootprint += fp
+		v.TotalGbps += pred
 		rec.Placed++
 		c.res.Placements++
 		if j.Attempts == 1 {
 			c.waits = append(c.waits, float64(p-j.ArrivalPeriod))
 		}
+		if v.FreeCores <= 0 {
+			copy(c.views[idx:], c.views[idx+1:])
+			c.views = c.views[:len(c.views)-1]
+			copy(c.owner[idx:], c.owner[idx+1:])
+			c.owner = c.owner[:len(c.owner)-1]
+		}
 	}
+	c.kept = c.queue[:0] // swap backing arrays; both pools persist
 	c.queue = kept
 
-	// Step live nodes concurrently; results land in an index-addressed
-	// slice so aggregation order is deterministic regardless of
-	// scheduling. Frozen and lost nodes miss their heartbeat — the
-	// cluster synthesises a health-only one.
-	type stepOut struct {
-		hb        Heartbeat
-		completed []*Job
-		err       error
-		live      bool
+	// Step nodes through the sharded work-stealing executor. Heartbeats
+	// land in index-addressed slots; integer counters accumulate
+	// per-worker and merge in worker order (commutative), while float
+	// aggregates reduce in node-index order below — so the trace is
+	// byte-identical at any worker count, and the lowest-index error
+	// wins deterministically.
+	if cap(c.outs) < len(c.nodes) {
+		c.outs = make([]stepOut, len(c.nodes))
 	}
-	outs := make([]stepOut, len(c.nodes))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, c.cfg.Workers)
-	for i, n := range c.nodes {
-		switch {
-		case n.Lost():
-			outs[i] = stepOut{hb: Heartbeat{Node: n.ID(), Lost: true}}
-		case n.Frozen(p):
-			outs[i] = stepOut{hb: Heartbeat{Node: n.ID(), Frozen: true, BECount: n.BECount()}}
-		default:
-			wg.Add(1)
-			go func(i int, n *Node) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				hb, done, err := n.StepPeriod(p)
-				outs[i] = stepOut{hb: hb, completed: done, err: err, live: true}
-			}(i, n)
-		}
+	c.outs = c.outs[:len(c.nodes)]
+	for w := range c.accs {
+		c.accs[w] = stepAcc{}
 	}
-	wg.Wait()
+	c.stepP = p
+	if err := par.ExecuteW(len(c.nodes), c.cfg.Workers, c.stepFn); err != nil {
+		return nil, err
+	}
 
 	normSum := 0.0
-	running := 0
-	for i, o := range outs {
-		if o.err != nil {
-			return nil, o.err
-		}
+	live := 0
+	for i := range c.outs {
+		o := &c.outs[i]
 		rec.Nodes = append(rec.Nodes, o.hb)
-		if o.live {
-			c.lastGbps[i] = o.hb.TotalGbps
-			normSum += o.hb.NormSum
-			if o.hb.SLOViolated {
-				rec.SLOViolations++
-				c.res.SLOViolationPeriods++
-			}
+		if !o.hb.Lost && !o.hb.Retired {
+			live++
 		}
-		rec.Done += len(o.completed)
-		c.res.Done += len(o.completed)
-		if !c.nodes[i].Lost() {
-			running += c.nodes[i].BECount()
+		if !o.live {
+			continue
+		}
+		c.lastGbps[i] = o.hb.TotalGbps
+		normSum += o.hb.NormSum
+		if o.hb.SLOViolated {
+			rec.SLOViolations++
+			c.res.SLOViolationPeriods++
 		}
 	}
-	sort.Slice(rec.Nodes, func(a, b int) bool { return rec.Nodes[a].Node < rec.Nodes[b].Node })
+	// Per-node burn-rate alerters advance serially in ID order, off the
+	// heartbeat stream (live nodes only — frozen and lost nodes miss
+	// heartbeats, matching the diag monitors).
+	if c.alerters != nil {
+		for i := range c.outs {
+			if !c.outs[i].live {
+				continue
+			}
+			v := 0.0
+			if c.outs[i].hb.SLOViolated {
+				v = 1
+			}
+			c.alerters[i].Step(v)
+		}
+	}
+	running := 0
+	for w := range c.accs {
+		rec.Done += c.accs[w].done
+		running += c.accs[w].running
+	}
+	c.res.Done += rec.Done
 	rec.QueueLen = len(c.queue)
 	rec.Running = running
-	rec.FleetEFU = normSum / float64(len(c.nodes)*c.cfg.Machine.Cores)
+	if c.cfg.Autoscale.Enabled {
+		rec.NodesLive = live
+	}
+	// Retired capacity leaves the EFU denominator (scaling down must not
+	// read as utilisation loss); lost and frozen capacity still counts
+	// as zero-earning, as before.
+	rec.FleetEFU = normSum / float64((len(c.nodes)-c.retiredCount)*c.cfg.Machine.Cores)
 	c.efuSum += rec.FleetEFU
 
 	if c.lw != nil {
@@ -609,7 +813,7 @@ func (c *Cluster) stepLocked() (*ClusterRecord, error) {
 			return nil, err
 		}
 	}
-	c.lastRec = rec
+	c.haveRec = true
 	c.period++
 	return rec, nil
 }
@@ -625,8 +829,15 @@ func (c *Cluster) Finish() (Result, error) {
 	c.res.Periods = c.period
 	c.res.QueuedEnd = len(c.queue)
 	for _, n := range c.nodes {
-		if !n.Lost() {
+		if !n.lost {
 			c.res.RunningEnd += n.BECount()
+		}
+	}
+	if c.cfg.Autoscale.Enabled {
+		for _, n := range c.nodes {
+			if !n.lost && !n.retired {
+				c.res.NodesEnd++
+			}
 		}
 	}
 	if c.period > 0 {

@@ -116,7 +116,7 @@ func TestHeadroomGroupPressurePenalty(t *testing.T) {
 		t.Fatal(err)
 	}
 	job := &Job{Profile: c.nodes[0].cfg.HPs[0]}
-	calm := c.nodes[0].view(0, 0)
+	calm := c.nodes[0].view(0)
 	calm.ID = 1
 	pressured := calm
 	pressured.ID = 0

@@ -78,6 +78,11 @@ type Heartbeat struct {
 	Node   int  `json:"node"`
 	Frozen bool `json:"frozen,omitempty"`
 	Lost   bool `json:"lost,omitempty"`
+	// Draining marks a node the autoscaler is emptying (no new
+	// placements; running jobs finish); Retired marks one removed after
+	// draining empty. Static fleets never set either.
+	Draining bool `json:"draining,omitempty"`
+	Retired  bool `json:"retired,omitempty"`
 
 	// HPIPC / HPNorm describe the node's worst-normalised HP (the only
 	// one, on single-HP nodes). HPGroups is the number of HP CLOS groups
@@ -119,6 +124,16 @@ type Node struct {
 
 	frozenUntil int // exclusive period bound; frozen while period < this
 	lost        bool
+
+	// draining/retired are autoscaler lifecycle states: a draining node
+	// accepts no placements and retires once empty; a retired node no
+	// longer steps and its capacity leaves the fleet EFU denominator.
+	draining bool
+	retired  bool
+
+	// viewFP is view's per-group footprint scratch on multi-HP nodes,
+	// pooled so the placement pass allocates nothing per period.
+	viewFP []float64
 }
 
 // buildNodePolicy constructs the node-local policy instance.
@@ -242,6 +257,7 @@ func newMultiHPNode(cfg NodeConfig) (*Node, error) {
 		multi:   mc,
 		beClos:  mc.BEClos(),
 		jobs:    make([]*Job, cfg.Machine.Cores),
+		viewFP:  make([]float64, len(cfg.HPs)),
 	}, nil
 }
 
@@ -256,6 +272,12 @@ func (n *Node) BECount() int { return n.beCount }
 
 // Lost reports whether the node has been lost to chaos.
 func (n *Node) Lost() bool { return n.lost }
+
+// Draining reports whether the autoscaler is emptying the node.
+func (n *Node) Draining() bool { return n.draining }
+
+// Retired reports whether the autoscaler has removed the node.
+func (n *Node) Retired() bool { return n.retired }
 
 // Frozen reports whether the node is frozen at the given period.
 func (n *Node) Frozen(period int) bool { return !n.lost && period < n.frozenUntil }
@@ -316,16 +338,18 @@ func (n *Node) Place(j *Job, period int) error {
 
 // StepPeriod advances the node by one monitoring period: step the
 // simulator, sample the meter, let the policy observe, then account job
-// progress. Completed jobs are detached and returned. Not called for
-// frozen or lost nodes.
-func (n *Node) StepPeriod(period int) (Heartbeat, []*Job, error) {
+// progress. Completed jobs are detached in place; the count comes back
+// with the heartbeat (the cluster only aggregates counts, so the old
+// completed-jobs slice was a per-period allocation for nothing). Not
+// called for frozen, lost or retired nodes.
+func (n *Node) StepPeriod(period int) (Heartbeat, int, error) {
 	dt := n.cfg.PeriodSec / float64(n.cfg.StepsPerPeriod)
 	for s := 0; s < n.cfg.StepsPerPeriod; s++ {
 		n.runner.Step(dt)
 	}
 	p := n.meter.Sample()
 	if err := n.pol.Observe(n.sys, p); err != nil {
-		return Heartbeat{Node: n.cfg.ID}, nil, fmt.Errorf("fleet: node %d policy %s: %w", n.cfg.ID, n.pol.Name(), err)
+		return Heartbeat{Node: n.cfg.ID}, 0, fmt.Errorf("fleet: node %d policy %s: %w", n.cfg.ID, n.pol.Name(), err)
 	}
 
 	hb := Heartbeat{Node: n.cfg.ID, BECount: n.beCount}
@@ -358,7 +382,10 @@ func (n *Node) StepPeriod(period int) (Heartbeat, []*Job, error) {
 	link := n.cfg.Machine.Link
 	hb.Saturated = p.TotalGbps > link.Knee*link.CapacityGBps
 
-	var completed []*Job
+	// Job accounting reads only the sampled period p, so detaching a
+	// finished job inside the walk observes the same readings the old
+	// collect-then-detach pass did.
+	done := 0
 	for c := n.hpCount; c < len(n.jobs); c++ {
 		j := n.jobs[c]
 		if j == nil {
@@ -367,34 +394,59 @@ func (n *Node) StepPeriod(period int) (Heartbeat, []*Job, error) {
 		hb.NormSum += metrics.NormIPC(p.CoreIPC(c), j.AloneIPC)
 		j.RemainingPeriods--
 		if j.RemainingPeriods <= 0 {
-			completed = append(completed, j)
+			_ = n.runner.Detach(c)
+			n.jobs[c] = nil
+			j.Core = -1
+			n.beCount--
+			done++
 		}
 	}
-	for _, j := range completed {
-		_ = n.runner.Detach(j.Core)
-		n.jobs[j.Core] = nil
-		j.Core = -1
-		n.beCount--
-	}
-	if len(completed) > 0 {
+	if done > 0 {
 		n.meter.Rebaseline()
 	}
-	return hb, completed, nil
+	return hb, done, nil
+}
+
+// evict detaches the BE job on the given core for re-placement
+// elsewhere: the migration engine's primitive. The meter rebaselines so
+// the next period's readings start from the reduced population.
+func (n *Node) evict(core int) *Job {
+	j := n.jobs[core]
+	_ = n.runner.Detach(core)
+	n.jobs[core] = nil
+	j.Core = -1
+	n.beCount--
+	n.meter.Rebaseline()
+	return j
+}
+
+// beWays returns the BE partition's current width in ways.
+func (n *Node) beWays() int { return bits.OnesCount64(n.sys.CBM(n.beClos)) }
+
+// Repack re-clusters a multi-HP node's cache plan on demand (the
+// autoscaler's repartition-first action), reporting whether the plan
+// changed. Single-HP nodes have nothing to repack.
+func (n *Node) Repack() (bool, error) {
+	if n.multi == nil {
+		return false, nil
+	}
+	return n.multi.Replan()
 }
 
 // view builds the scheduler's snapshot of this node. lastTotalGbps is
-// the node's most recent heartbeat bandwidth; pendingGbps accumulates
-// the predicted demand of jobs placed earlier in the same period so
-// successive placements see each other.
-func (n *Node) view(lastTotalGbps, pendingGbps float64) NodeView {
+// the node's most recent heartbeat bandwidth. The cluster builds each
+// candidate's view once per period and folds same-period placements
+// into it in place, so the snapshot must only depend on node state and
+// the last heartbeat.
+func (n *Node) view(lastTotalGbps float64) NodeView {
 	m := n.cfg.Machine
-	beWays := bits.OnesCount64(n.sys.CBM(n.beClos))
+	beWays := n.beWays()
 	v := NodeView{
 		ID:        n.cfg.ID,
 		FreeCores: n.FreeCores(),
 		BECount:   n.beCount,
 		BEWays:    beWays,
-		TotalGbps: lastTotalGbps + pendingGbps,
+		TotalGbps: lastTotalGbps,
 		Machine:   m,
 	}
 	beBytes := m.WaysBytes(beWays)
@@ -414,7 +466,10 @@ func (n *Node) view(lastTotalGbps, pendingGbps float64) NodeView {
 	// regulates its one HP directly, and the legacy score must not move.
 	if n.multi != nil {
 		k := n.multi.NumGroups()
-		fp := make([]float64, k)
+		fp := n.viewFP[:k]
+		for i := range fp {
+			fp[i] = 0
+		}
 		for i, hp := range n.cfg.HPs {
 			fp[n.multi.GroupOf(i)] += hp.MaxFootprint()
 		}

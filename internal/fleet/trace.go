@@ -37,6 +37,39 @@ type TraceHeader struct {
 	HPs        []string      `json:"hps"`
 	Arrivals   ArrivalConfig `json:"arrivals"`
 	NodeChaos  string        `json:"node_chaos,omitempty"`
+	// Autoscale / Migration record the control loops' parameters when
+	// enabled; static fleets omit them and stay byte-identical.
+	Autoscale *AutoscaleConfig `json:"autoscale,omitempty"`
+	Migration *MigrationConfig `json:"migration,omitempty"`
+}
+
+// Causes of fleet-level control events, the decision provenance of the
+// orchestration layer's trace stream.
+const (
+	// CauseMigration marks BE evictions off a node whose SLO burn-rate
+	// alert is firing.
+	CauseMigration = "slo-burn-migration"
+	// CauseScaleUp marks nodes added by the autoscaler.
+	CauseScaleUp = "autoscale-up"
+	// CauseScaleDown marks a node drained (detail "drain") or removed
+	// after draining empty (detail "retire").
+	CauseScaleDown = "autoscale-down"
+	// CauseRepack marks the repartition-first action: drains cancelled
+	// and node cache plans re-clustered in place of added capacity.
+	CauseRepack = "repack"
+)
+
+// FleetEvent is one control decision of the orchestration layer,
+// recorded in the period it took effect.
+type FleetEvent struct {
+	// Cause is one of the Cause* constants.
+	Cause string `json:"cause"`
+	// Node is the acted-on node, or -1 for fleet-level actions.
+	Node int `json:"node"`
+	// Jobs lists affected job IDs (evictions).
+	Jobs []int `json:"jobs,omitempty"`
+	// Detail carries cause-specific context (burn rates, node counts).
+	Detail string `json:"detail,omitempty"`
 }
 
 // ClusterRecord is one monitoring period of the whole cluster: the
@@ -60,11 +93,22 @@ type ClusterRecord struct {
 	Freezes int `json:"freezes,omitempty"`
 	Losses  int `json:"losses,omitempty"`
 
+	// Evicted counts BE jobs migrated off burning nodes this period;
+	// NodesLive is the fleet size net of retired nodes (recorded only
+	// when the autoscaler runs, so static traces are unchanged).
+	Evicted   int `json:"evicted,omitempty"`
+	NodesLive int `json:"nodes_live,omitempty"`
+
 	// SLOViolations counts live nodes whose HP missed its SLO this
 	// period; FleetEFU is Σ norm-IPC over every running process divided
-	// by total fleet capacity (lost and frozen capacity earns zero).
+	// by total fleet capacity (lost and frozen capacity earns zero;
+	// retired capacity leaves the denominator).
 	SLOViolations int     `json:"slo_violations"`
 	FleetEFU      float64 `json:"fleet_efu"`
+
+	// Events are the period's control decisions, in decision order
+	// (migrations, then autoscaling).
+	Events []FleetEvent `json:"events,omitempty"`
 
 	Nodes []Heartbeat `json:"nodes"`
 }

@@ -73,6 +73,18 @@ func saturatingFleetConfig(name string, dicer *core.Config) Config {
 	return cfg
 }
 
+// controlFleetConfig builds a migration-grid configuration: the
+// saturating stream-heavy mix over headroom placement — heavy enough
+// that nodes actually burn their SLO budgets — with a canned node fault
+// schedule layered on top and the SLO-burn migration loop toggled.
+func controlFleetConfig(name, nodeChaos string, migrate bool) Config {
+	cfg := fleetConfig(name, "headroom", experiments.DICER, nil)
+	cfg.Fleet.Arrivals = saturatingArrivals()
+	cfg.Fleet.NodeChaos = nodeChaos
+	cfg.Fleet.Migration = migrate
+	return cfg
+}
+
 // Registered returns the hypothesis registry: the claims EXPERIMENTS.md
 // asserts (or used to assert from single seeded runs), declared as
 // falsifiable multi-seed comparisons.
@@ -232,6 +244,53 @@ func Registered() []Hypothesis {
 				Direction: Greater,
 				MinEffect: 0.02,
 			}},
+		},
+		{
+			Name:   "migration-beats-static",
+			Family: "Control-loop comparative",
+			Title:  "SLO-burn BE migration beats a static fleet under node chaos",
+			Claim: "On a saturating stream-heavy mix with node faults injected (freeze-only " +
+				"and combined freeze+loss storms), the SLO-burn migration loop — multi-window " +
+				"burn-rate alerts evicting BE jobs off burning nodes through the bounded-retry " +
+				"placement path, with cooldown and quarantine hysteresis — lowers the rate of " +
+				"HP SLO-violation node-periods versus the same fleet with the loop disabled, " +
+				"on the same arrival trace and fault stream. Fleet EFU rides along as an " +
+				"exploratory endpoint: migration shuffles BE work, it should not strand it.",
+			Seeds:      DefaultSeeds(8),
+			Confidence: 0.95,
+			Configs: []Config{
+				controlFleetConfig("static-freeze", "node-freeze", false),
+				controlFleetConfig("migrate-freeze", "node-freeze", true),
+				controlFleetConfig("static-storm", "node-storm", false),
+				controlFleetConfig("migrate-storm", "node-storm", true),
+			},
+			Comparisons: []Comparison{
+				{
+					Name:      "slo-violation-rate-freeze",
+					Metric:    MetricSLOViolationRate,
+					Treatment: "migrate-freeze",
+					Control:   "static-freeze",
+					Direction: Less,
+					MinEffect: 0,
+				},
+				{
+					Name:      "slo-violation-rate-storm",
+					Metric:    MetricSLOViolationRate,
+					Treatment: "migrate-storm",
+					Control:   "static-storm",
+					Direction: Less,
+					MinEffect: 0,
+				},
+				{
+					Name:        "fleet-efu-storm",
+					Metric:      MetricFleetEFU,
+					Treatment:   "migrate-storm",
+					Control:     "static-storm",
+					Direction:   Greater,
+					MinEffect:   0,
+					Exploratory: true,
+				},
+			},
 		},
 		{
 			Name:   "clustering-beats-naive-spill",

@@ -72,6 +72,16 @@ type FleetSpec struct {
 	// DICER, when non-nil, overrides the controller configuration (for
 	// ablation configs like no-saturation-sampling).
 	DICER *core.Config `json:"dicer,omitempty"`
+	// NodeChaos names a canned node fault schedule ("none", "node-freeze",
+	// "node-loss", "node-storm"). The hypothesis seed seeds the schedule,
+	// so replicates see different fault streams drawn from the same
+	// process.
+	NodeChaos string `json:"node_chaos,omitempty"`
+	// Migration / Autoscale enable the fleet control loops with their
+	// default parameters (SLO-burn BE migration, repartition-first
+	// autoscaling).
+	Migration bool `json:"migration,omitempty"`
+	Autoscale bool `json:"autoscale,omitempty"`
 }
 
 // SoakSpec runs the chaos soak (experiments.Suite.Soak) once per seed:
@@ -107,8 +117,18 @@ func (c Config) Describe() string {
 				ctl = "no saturation handling"
 			}
 		}
-		return fmt.Sprintf("fleet: %d nodes x %d periods, scheduler %s, policy %s (controller %s), arrivals λ=%.1f/period mean-dur %.0f, queue cap %d",
-			nodes, horizon, f.Scheduler, f.Policy, ctl, arr.RatePerPeriod, arr.MeanDurationPeriods, qcap)
+		extras := ""
+		if f.NodeChaos != "" && f.NodeChaos != "none" {
+			extras += ", chaos " + f.NodeChaos
+		}
+		if f.Migration {
+			extras += ", SLO-burn migration"
+		}
+		if f.Autoscale {
+			extras += ", autoscaler"
+		}
+		return fmt.Sprintf("fleet: %d nodes x %d periods, scheduler %s, policy %s (controller %s), arrivals λ=%.1f/period mean-dur %.0f, queue cap %d%s",
+			nodes, horizon, f.Scheduler, f.Policy, ctl, arr.RatePerPeriod, arr.MeanDurationPeriods, qcap, extras)
 	}
 	if m := c.MultiHP; m != nil {
 		grouping := m.Grouping
@@ -287,6 +307,10 @@ func (r *Runner) runFleet(spec FleetSpec, seeds []int64, metrics []Metric) ([][]
 	if err := experiments.Execute(len(seeds), r.workers(), func(i int) error {
 		arr := spec.Arrivals
 		arr.Seed = seeds[i]
+		sched, err := chaos.NodeScheduleByName(spec.NodeChaos, seeds[i], nodes, horizon)
+		if err != nil {
+			return err
+		}
 		c, err := fleet.New(fleet.Config{
 			Nodes:          nodes,
 			Machine:        scfg.Machine,
@@ -299,6 +323,9 @@ func (r *Runner) runFleet(spec FleetSpec, seeds []int64, metrics []Metric) ([][]
 			Scheduler:      spec.Scheduler,
 			SchedSeed:      seeds[i],
 			QueueCap:       qcap,
+			NodeChaos:      sched,
+			Migration:      fleet.MigrationConfig{Enabled: spec.Migration},
+			Autoscale:      fleet.AutoscaleConfig{Enabled: spec.Autoscale},
 			AloneIPC:       r.Suite.AloneIPC,
 		})
 		if err != nil {

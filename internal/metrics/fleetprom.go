@@ -13,6 +13,8 @@ type FleetNode struct {
 	Node        int
 	Frozen      bool
 	Lost        bool
+	Draining    bool
+	Retired     bool
 	BECount     int
 	HPNorm      float64
 	TotalGbps   float64
@@ -37,6 +39,12 @@ type FleetSample struct {
 	Running  int
 	Freezes  int
 	Losses   int
+
+	// Evicted counts BE jobs migrated off burning nodes this period;
+	// NodesLive is the working fleet size under the autoscaler (zero for
+	// static fleets).
+	Evicted   int
+	NodesLive int
 
 	SLOViolations int
 	FleetEFU      float64
@@ -84,6 +92,7 @@ type FleetExporter struct {
 	done       int
 	freezes    int
 	losses     int
+	evicted    int
 	sloViol    int
 
 	last    FleetSample
@@ -106,6 +115,7 @@ func (e *FleetExporter) Observe(s FleetSample) {
 	e.done += s.Done
 	e.freezes += s.Freezes
 	e.losses += s.Losses
+	e.evicted += s.Evicted
 	e.sloViol += s.SLOViolations
 	e.last = s
 	e.last.Nodes = append([]FleetNode(nil), s.Nodes...)
@@ -147,6 +157,8 @@ func (e *FleetExporter) WriteTo(w io.Writer) (int64, error) {
 		"Node freeze events.", float64(e.freezes))
 	writeMetric(cw, "dicer_fleet_node_losses_total", "counter",
 		"Node loss events.", float64(e.losses))
+	writeMetric(cw, "dicer_fleet_evictions_total", "counter",
+		"BE jobs migrated off burning nodes.", float64(e.evicted))
 	writeMetric(cw, "dicer_fleet_slo_violations_total", "counter",
 		"Per-node, per-period HP SLO misses.", float64(e.sloViol))
 
@@ -156,12 +168,17 @@ func (e *FleetExporter) WriteTo(w io.Writer) (int64, error) {
 		writeMetric(cw, "dicer_fleet_queue_len", "gauge", "Jobs waiting for placement.", float64(s.QueueLen))
 		writeMetric(cw, "dicer_fleet_running", "gauge", "Jobs running across the fleet.", float64(s.Running))
 		writeMetric(cw, "dicer_fleet_efu", "gauge", "Last period's fleet EFU.", s.FleetEFU)
+		if s.NodesLive > 0 {
+			writeMetric(cw, "dicer_fleet_nodes_live", "gauge", "Working (non-retired, non-lost) nodes.", float64(s.NodesLive))
+		}
 
 		nodes := append([]FleetNode(nil), s.Nodes...)
 		sort.Slice(nodes, func(a, b int) bool { return nodes[a].Node < nodes[b].Node })
-		writeFleetNodeGauge(cw, "dicer_fleet_node_state", "Node health: 0 live, 1 frozen, 2 lost.",
+		writeFleetNodeGauge(cw, "dicer_fleet_node_state", "Node health: 0 live, 1 frozen, 2 lost, 3 retired.",
 			nodes, func(n FleetNode) float64 {
 				switch {
+				case n.Retired:
+					return 3
 				case n.Lost:
 					return 2
 				case n.Frozen:

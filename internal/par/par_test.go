@@ -1,0 +1,150 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestExecuteCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16, 100} {
+		for _, n := range []int{0, 1, 2, 5, 16, 257} {
+			counts := make([]atomic.Int32, n)
+			if err := Execute(n, workers, func(i int) error {
+				counts[i].Add(1)
+				return nil
+			}); err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("n=%d workers=%d: index %d ran %d times", n, workers, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestExecuteStealsSkewedShards(t *testing.T) {
+	// All the work lives in the first shard's index range; with more
+	// workers than busy indices, stealing must still cover everything.
+	var ran atomic.Int32
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	if err := Execute(64, 8, func(i int) error {
+		ran.Add(1)
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 64 || len(seen) != 64 {
+		t.Fatalf("covered %d indices (%d calls), want 64", len(seen), ran.Load())
+	}
+}
+
+func TestExecuteReportsLowestIndexError(t *testing.T) {
+	fail := map[int]bool{3: true, 11: true, 40: true}
+	for _, workers := range []int{1, 4, 16} {
+		err := Execute(48, workers, func(i int) error {
+			if fail[i] {
+				return fmt.Errorf("index %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "index 3 failed" {
+			t.Fatalf("workers=%d: got %v, want the lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestExecuteRunsEverythingDespiteErrors(t *testing.T) {
+	var ran atomic.Int32
+	err := Execute(32, 4, func(i int) error {
+		ran.Add(1)
+		if i%2 == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if ran.Load() != 32 {
+		t.Fatalf("ran %d of 32 indices; every index must run even when others fail", ran.Load())
+	}
+}
+
+func TestExecuteZeroAndNegativeN(t *testing.T) {
+	if err := Execute(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Execute(-3, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExecuteWWorkerKeying pins ExecuteW's per-worker contract: every
+// index runs exactly once under a valid worker id, each worker id maps
+// to one goroutine (so per-w accumulators need no locking), and integer
+// accumulators merged over w reproduce the serial total — the property
+// the fleet's per-shard aggregation relies on.
+func TestExecuteWWorkerKeying(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		const n = 300
+		type acc struct {
+			sum int64
+			_   [56]byte
+		}
+		accs := make([]acc, workers)
+		ran := make([]atomic.Int32, n)
+		if err := ExecuteW(n, workers, func(w, i int) error {
+			if w < 0 || w >= workers {
+				return fmt.Errorf("worker id %d outside [0,%d)", w, workers)
+			}
+			accs[w].sum += int64(i)
+			ran[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		total := int64(0)
+		for w := range accs {
+			total += accs[w].sum
+		}
+		if want := int64(n * (n - 1) / 2); total != want {
+			t.Fatalf("workers=%d: per-worker sums merge to %d, want %d", workers, total, want)
+		}
+		for i := range ran {
+			if got := ran[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestExecuteSerialZeroAlloc pins the serial fast path of both entry
+// points at zero allocations with a pre-hoisted closure.
+func TestExecuteSerialZeroAlloc(t *testing.T) {
+	var sink atomic.Int64
+	fn := func(i int) error { sink.Add(int64(i)); return nil }
+	fnW := func(w, i int) error { sink.Add(int64(w + i)); return nil }
+	if got := testing.AllocsPerRun(200, func() {
+		if err := Execute(64, 1, fn); err != nil {
+			t.Error(err)
+		}
+	}); got != 0 {
+		t.Errorf("serial Execute allocates %v/op, want 0", got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if err := ExecuteW(64, 1, fnW); err != nil {
+			t.Error(err)
+		}
+	}); got != 0 {
+		t.Errorf("serial ExecuteW allocates %v/op, want 0", got)
+	}
+}
