@@ -31,11 +31,16 @@ type fleetRecord struct {
 	NsPerNodePeriod float64 `json:"ns_per_node_period"`
 	RealTimeFactor  float64 `json:"real_time_factor"`
 
-	ScaleFleetEFU    float64 `json:"scale_fleet_efu"`
-	ScaleSLOViol     int     `json:"scale_slo_violation_periods"`
-	ScaleDone        int     `json:"scale_done"`
-	ScaleMigrations  int     `json:"scale_migrations"`
-	ScaleEvicted     int     `json:"scale_evicted"`
+	ScaleFleetEFU   float64 `json:"scale_fleet_efu"`
+	ScaleSLOViol    int     `json:"scale_slo_violation_periods"`
+	ScaleDone       int     `json:"scale_done"`
+	ScaleMigrations int     `json:"scale_migrations"`
+	ScaleEvicted    int     `json:"scale_evicted"`
+	// Forensics/ScaleIncidents record whether the flight recorder was
+	// armed for the timed run (-forensics) and how many incident bundles
+	// it sealed; the recorder must fit inside the ns_per_node_period gate.
+	Forensics      bool `json:"forensics,omitempty"`
+	ScaleIncidents int  `json:"scale_incidents,omitempty"`
 
 	HeadroomEFU      float64 `json:"headroom_fleet_efu"`
 	RandomEFU        float64 `json:"random_fleet_efu"`
@@ -50,8 +55,8 @@ type fleetRecord struct {
 // scaled to keep roughly half the BE capacity busy, burn-rate migration
 // on. Autoscaling stays off so node_periods is exactly nodes × periods
 // and the throughput figure is comparable across PRs.
-func scaleFleetConfig(cfg experiments.Config, workers int, alone func(string) (float64, error)) fleet.Config {
-	return fleet.Config{
+func scaleFleetConfig(cfg experiments.Config, workers int, forensics bool, alone func(string) (float64, error)) fleet.Config {
+	fc := fleet.Config{
 		Nodes:          1000,
 		HPsPerNode:     2,
 		Machine:        cfg.Machine,
@@ -70,13 +75,17 @@ func scaleFleetConfig(cfg experiments.Config, workers int, alone func(string) (f
 		},
 		AloneIPC: alone,
 	}
+	if forensics {
+		fc.Forensics = fleet.ForensicsConfig{Enabled: true}
+	}
+	return fc
 }
 
 // writeFleetJSON measures both fleet benchmarks on a fresh suite. The
 // 4-node scheduler comparison runs first; besides its quality headline
 // it warms the suite's alone-run memo, so the timed 1000-node run pays
 // for stepping, placement and migration — not for alone references.
-func writeFleetJSON(cfg experiments.Config, path string) error {
+func writeFleetJSON(cfg experiments.Config, path string, forensics bool) error {
 	suite, err := experiments.NewSuite(cfg)
 	if err != nil {
 		return err
@@ -100,7 +109,7 @@ func writeFleetJSON(cfg experiments.Config, path string) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	scale := scaleFleetConfig(cfg, workers, suite.AloneIPC)
+	scale := scaleFleetConfig(cfg, workers, forensics, suite.AloneIPC)
 	c, err := fleet.New(scale)
 	if err != nil {
 		return err
@@ -125,6 +134,8 @@ func writeFleetJSON(cfg experiments.Config, path string) error {
 		ScaleDone:       res.Done,
 		ScaleMigrations: res.Migrations,
 		ScaleEvicted:    res.Evicted,
+		Forensics:       forensics,
+		ScaleIncidents:  res.Incidents,
 	}
 	rec.NsPerNodePeriod = float64(wall.Nanoseconds()) / float64(rec.NodePeriods)
 	rec.RealTimeFactor = float64(scale.HorizonPeriods) * scale.PeriodSec / wall.Seconds()
@@ -149,10 +160,15 @@ func writeFleetJSON(cfg experiments.Config, path string) error {
 		return err
 	}
 	fmt.Printf("fleet: %d nodes x %d periods (%d workers), %.2f s wall, %.0f ns/node-period, %.1fx real time\n"+
-		"       scale EFU %.4f (slo %d, %d migrations evicting %d), headroom EFU %.4f vs random %.4f\nwrote %s\n",
+		"       scale EFU %.4f (slo %d, %d migrations evicting %d), headroom EFU %.4f vs random %.4f\n",
 		rec.Nodes, rec.Periods, rec.Workers, rec.WallSeconds, rec.NsPerNodePeriod, rec.RealTimeFactor,
 		rec.ScaleFleetEFU, rec.ScaleSLOViol, rec.ScaleMigrations, rec.ScaleEvicted,
-		rec.HeadroomEFU, rec.RandomEFU, path)
+		rec.HeadroomEFU, rec.RandomEFU)
+	if forensics {
+		fmt.Printf("       flight recorder armed: %d incident bundle(s) sealed during the timed run\n",
+			rec.ScaleIncidents)
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }
 

@@ -39,6 +39,7 @@ func main() {
 		sweepJSON  = flag.String("sweepjson", "", "measure the uncached 59x59 sweep and write {wall, ns/step, allocs/step, parallel efficiency} JSON to this file, then exit")
 		fleetJSON  = flag.String("fleetjson", "", "measure the fleet benchmarks (1000-node scale run + scheduler comparison) and write {wall, ns/node-period, real_time_factor, EFU} JSON to this file, then exit")
 		fleetGrid  = flag.Bool("fleetgrid", false, "run the fleet control grid (static/migrate/autoscale/both x node chaos) and render the table, then exit")
+		forensics  = flag.Bool("forensics", false, "with -fleetjson: arm the flight recorder during the timed 1000-node run (recorder overhead must fit inside the -against gate)")
 		hypoJSON   = flag.String("hypojson", "", "run the hypothesis registry with a reduced seed set and write {wall, s/cell, statuses} JSON to this file, then exit")
 		hypoSeeds  = flag.Int("hyposeeds", 2, "seeds per hypothesis for -hypojson")
 		against    = flag.String("against", "", "with -sweepjson or -fleetjson: compare the fresh record against this committed record and exit non-zero on regression")
@@ -92,7 +93,7 @@ func main() {
 		return
 	}
 	if *fleetJSON != "" {
-		if err := writeFleetJSON(cfg, *fleetJSON); err != nil {
+		if err := writeFleetJSON(cfg, *fleetJSON, *forensics); err != nil {
 			fatal(err)
 		}
 		if *against != "" {

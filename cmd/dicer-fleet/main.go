@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"dicer/internal/chaos"
@@ -46,6 +47,9 @@ type fleetParams struct {
 	autoscale bool
 	maxNodes  int
 	minNodes  int
+
+	forensics   bool
+	incidentDir string
 
 	pprof bool
 }
@@ -88,6 +92,9 @@ func (p fleetParams) config() (fleet.Config, error) {
 	if p.autoscale {
 		cfg.Autoscale = fleet.AutoscaleConfig{Enabled: true, MaxNodes: p.maxNodes, MinNodes: p.minNodes}
 	}
+	if p.forensics || p.incidentDir != "" {
+		cfg.Forensics = fleet.ForensicsConfig{Enabled: true}
+	}
 	return cfg, nil
 }
 
@@ -121,6 +128,8 @@ func main() {
 	flag.BoolVar(&p.autoscale, "autoscale", false, "enable the repartition-first autoscaler (repack, then add nodes; drain when idle)")
 	flag.IntVar(&p.maxNodes, "max-nodes", 0, "with -autoscale: working-fleet upper bound (0 = 2x -nodes)")
 	flag.IntVar(&p.minNodes, "min-nodes", 0, "with -autoscale: working-fleet lower bound (0 = -nodes)")
+	flag.BoolVar(&p.forensics, "forensics", false, "arm the flight recorder (per-node black-box rings sealed into incident bundles on SLO-burn, chaos or guard-veto triggers)")
+	flag.StringVar(&p.incidentDir, "incident-dir", "", "write sealed incident bundles to this directory (implies -forensics); feed them to dicer-trace explain")
 	flag.BoolVar(&p.pprof, "pprof", false, "with -serve: also expose /debug/pprof/ profiling endpoints")
 	var (
 		traceOut    = flag.String("trace-out", "", "write the JSONL cluster trace to this file")
@@ -197,6 +206,20 @@ func runBatch(p fleetParams, traceOut, summaryJSON string, every int) error {
 		fmt.Printf("  autoscale          %d repacks, %d scale-ups (+%d nodes), %d scale-downs (%d retired), %d nodes at end\n",
 			res.Repacks, res.ScaleUps, res.NodesAdded, res.ScaleDowns, res.NodesRetired, res.NodesEnd)
 	}
+	if cfg.Forensics.Enabled {
+		fmt.Printf("  forensics          %d incident bundle(s) sealed", res.Incidents)
+		if res.IncidentsDropped > 0 {
+			fmt.Printf(", %d trigger(s) dropped at the retention bound", res.IncidentsDropped)
+		}
+		fmt.Println()
+		if p.incidentDir != "" {
+			n, err := dumpIncidents(p.incidentDir, c.Incidents())
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  incident-dir       %s (%d file(s))\n", p.incidentDir, n)
+		}
+	}
 	if traceOut != "" {
 		fmt.Printf("  trace              %s\n", traceOut)
 	}
@@ -212,6 +235,28 @@ func runBatch(p fleetParams, traceOut, summaryJSON string, every int) error {
 		fmt.Printf("  summary            %s\n", summaryJSON)
 	}
 	return nil
+}
+
+// dumpIncidents writes each sealed bundle to dir under its canonical
+// filename, returning how many were written.
+func dumpIncidents(dir string, incs []*fleet.Incident) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	for _, inc := range incs {
+		f, err := os.Create(filepath.Join(dir, inc.Filename()))
+		if err != nil {
+			return 0, err
+		}
+		if err := inc.Dump(f); err != nil {
+			f.Close()
+			return 0, err
+		}
+		if err := f.Close(); err != nil {
+			return 0, err
+		}
+	}
+	return len(incs), nil
 }
 
 // nodeChaosNames lists the canned node fault schedules.

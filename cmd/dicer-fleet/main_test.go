@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"flag"
 	"net/http/httptest"
 	"os"
@@ -146,6 +148,105 @@ func TestGoldenMigrationTrace(t *testing.T) {
 	}
 }
 
+// forensicsParams arms the flight recorder on the control-loop golden
+// configuration: migrations, autoscaling and node-storm chaos supply
+// slo-burn and node-loss triggers for the recorder to seal.
+func forensicsParams() fleetParams {
+	p := goldenMigrationParams()
+	p.forensics = true
+	return p
+}
+
+// TestGoldenIncidentBundles runs the forensics configuration with an
+// -incident-dir and pins every sealed bundle byte-for-byte under
+// testdata/incidents/. The committed bundles are the live-dump ==
+// committed-golden equivalence proof — the run is fully seeded, so a
+// live dump must reproduce these exact bytes — and the inputs of
+// dicer-trace's explain golden tests.
+func TestGoldenIncidentBundles(t *testing.T) {
+	dir := t.TempDir()
+	p := forensicsParams()
+	p.incidentDir = dir
+	if err := runBatch(p, "", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "incident-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("forensics run sealed no incident bundles")
+	}
+
+	// The run must exercise both trigger families, or the goldens stop
+	// covering the interesting paths.
+	triggers := map[string]bool{}
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := fleet.ReadIncident(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		triggers[inc.Manifest.Trigger] = true
+	}
+	for _, want := range []string{fleet.TriggerSLOBurn, fleet.TriggerNodeLoss} {
+		if !triggers[want] {
+			t.Errorf("no %s bundle sealed; triggers seen: %v", want, triggers)
+		}
+	}
+
+	goldenDir := filepath.Join("testdata", "incidents")
+	if *update {
+		if err := os.RemoveAll(goldenDir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			b, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(goldenDir, filepath.Base(f)), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want, err := filepath.Glob(filepath.Join(goldenDir, "incident-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatalf("no committed bundles in %s (run with -update to create)", goldenDir)
+	}
+	if len(want) != len(files) {
+		t.Fatalf("live run sealed %d bundles, goldens have %d; re-run with -update if intended",
+			len(files), len(want))
+	}
+	for i, f := range files {
+		if filepath.Base(f) != filepath.Base(want[i]) {
+			t.Errorf("bundle %d named %s, golden %s", i, filepath.Base(f), filepath.Base(want[i]))
+			continue
+		}
+		got, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := os.ReadFile(want[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, exp) {
+			t.Errorf("%s drifted from golden (%d vs %d bytes); re-run with -update if intended",
+				filepath.Base(f), len(got), len(exp))
+		}
+	}
+}
+
 // TestBatchTraceDeterministic runs the batch path twice and compares the
 // cluster traces byte-for-byte.
 func TestBatchTraceDeterministic(t *testing.T) {
@@ -258,5 +359,93 @@ func TestServeEndpoints(t *testing.T) {
 	code, body = get("/alerts")
 	if code != 200 || !strings.Contains(body, `"aggregate"`) || !strings.Contains(body, `"nodes"`) {
 		t.Fatalf("/alerts = %d %q", code, body)
+	}
+}
+
+// TestServeIncidents drives the forensics path through the serve mux: a
+// subscriber on /events must receive the sealed bundle's manifest as an
+// SSE "incident" event, /incidents must list it, and /incidents/<file>
+// must stream a parseable dicer-incident/v1 bundle.
+func TestServeIncidents(t *testing.T) {
+	p := forensicsParams()
+	st := newFleetServeState(p)
+	srv := httptest.NewServer(st.mux(false))
+	defer srv.Close()
+
+	// Subscribe before the cluster loop starts so the first lap's
+	// incidents are pushed to us.
+	resp, err := srv.Client().Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	go st.loop(p)
+
+	payload := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if sc.Text() == "event: incident" && sc.Scan() {
+				payload <- strings.TrimPrefix(sc.Text(), "data: ")
+				return
+			}
+		}
+	}()
+	var manifest fleet.IncidentManifest
+	select {
+	case data := <-payload:
+		if err := json.Unmarshal([]byte(data), &manifest); err != nil {
+			t.Fatalf("incident event payload is not a manifest: %v\n%s", err, data)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("no incident event arrived on /events")
+	}
+	if manifest.Schema != fleet.IncidentSchema || manifest.Trigger == "" {
+		t.Fatalf("incident manifest = %+v", manifest)
+	}
+
+	// The bundle behind the event is listed and fetchable.
+	listResp, err := srv.Client().Get(srv.URL + "/incidents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer listResp.Body.Close()
+	var listed []struct {
+		File string `json:"file"`
+		fleet.IncidentManifest
+	}
+	if err := json.NewDecoder(listResp.Body).Decode(&listed); err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) == 0 {
+		t.Fatal("/incidents is empty after an incident event")
+	}
+	bundleResp, err := srv.Client().Get(srv.URL + "/incidents/" + listed[0].File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bundleResp.Body.Close()
+	if bundleResp.StatusCode != 200 {
+		t.Fatalf("/incidents/%s = %d", listed[0].File, bundleResp.StatusCode)
+	}
+	inc, err := fleet.ReadIncident(bundleResp.Body)
+	if err != nil {
+		t.Fatalf("served bundle does not parse: %v", err)
+	}
+	if inc.Manifest.Seq != listed[0].Seq || inc.Manifest.Trigger != listed[0].Trigger ||
+		inc.Manifest.Node != listed[0].Node || inc.Manifest.Period != listed[0].Period {
+		t.Fatalf("served manifest %+v != listed %+v", inc.Manifest, listed[0].IncidentManifest)
+	}
+	if len(inc.Flight) == 0 {
+		t.Fatal("served bundle has an empty flight recording")
+	}
+
+	if missing, err := srv.Client().Get(srv.URL + "/incidents/nope.jsonl"); err != nil {
+		t.Fatal(err)
+	} else {
+		missing.Body.Close()
+		if missing.StatusCode != 404 {
+			t.Fatalf("/incidents/nope.jsonl = %d, want 404", missing.StatusCode)
+		}
 	}
 }

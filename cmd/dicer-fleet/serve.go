@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 
 	"dicer/internal/diag"
@@ -23,18 +24,26 @@ type fleetServeState struct {
 	monitor  *diag.FleetMonitor
 	events   *httpd.EventStream
 
-	mu      sync.Mutex
-	lastRec fleet.ClusterRecord
-	queue   []fleet.QueueEntry
-	haveRec bool
-	laps    int
-	lastErr error
+	incidentDir string
+
+	mu        sync.Mutex
+	lastRec   fleet.ClusterRecord
+	queue     []fleet.QueueEntry
+	haveRec   bool
+	laps      int
+	lastErr   error
+	incidents []*fleet.Incident
 }
+
+// maxServedIncidents bounds the bundles /incidents retains across laps;
+// older ones rotate out (bundles written to -incident-dir persist).
+const maxServedIncidents = 64
 
 func newFleetServeState(p fleetParams) *fleetServeState {
 	st := &fleetServeState{
-		exporter: metrics.NewFleetExporter(),
-		events:   httpd.NewEventStream(),
+		exporter:    metrics.NewFleetExporter(),
+		events:      httpd.NewEventStream(),
+		incidentDir: p.incidentDir,
 	}
 	st.monitor = diag.NewFleetMonitor(diag.FleetMonitorConfig{
 		SLO:      p.slo,
@@ -70,6 +79,26 @@ func (st *fleetServeState) setErr(err error) {
 	st.mu.Unlock()
 }
 
+// onIncident is the cluster's OnIncident callback: retain the bundle
+// for /incidents (bounded), push its manifest to SSE subscribers, and
+// persist it when -incident-dir is set.
+func (st *fleetServeState) onIncident(inc *fleet.Incident) {
+	st.mu.Lock()
+	st.incidents = append(st.incidents, inc)
+	if len(st.incidents) > maxServedIncidents {
+		st.incidents = st.incidents[len(st.incidents)-maxServedIncidents:]
+	}
+	st.mu.Unlock()
+	if b, err := json.Marshal(inc.Manifest); err == nil {
+		st.events.Publish("incident", string(b))
+	}
+	if st.incidentDir != "" {
+		if _, err := dumpIncidents(st.incidentDir, []*fleet.Incident{inc}); err != nil {
+			st.setErr(err)
+		}
+	}
+}
+
 // loop runs cluster laps until one fails; the failure parks in /healthz.
 // Each lap rebuilds the cluster, so node and controller state start
 // fresh while the exporter's counters and the monitor's alert history
@@ -82,6 +111,9 @@ func (st *fleetServeState) loop(p fleetParams) {
 			return
 		}
 		cfg.OnPeriod = st.observe
+		if cfg.Forensics.Enabled {
+			cfg.OnIncident = st.onIncident
+		}
 		c, err := fleet.New(cfg)
 		if err != nil {
 			st.setErr(err)
@@ -108,6 +140,7 @@ func (st *fleetServeState) mux(withPprof bool) *http.ServeMux {
 			return
 		}
 		st.monitor.WriteProm(w)
+		st.events.WriteProm(w)
 	})
 	mux.HandleFunc("/nodes", func(w http.ResponseWriter, r *http.Request) {
 		st.mu.Lock()
@@ -136,6 +169,42 @@ func (st *fleetServeState) mux(withPprof bool) *http.ServeMux {
 		writeJSON(w, st.monitor.Snapshot())
 	})
 	mux.Handle("/events", st.events)
+	// /incidents lists sealed forensic bundles (manifest + filename);
+	// /incidents/<filename> streams one bundle as dicer-incident/v1
+	// JSONL, ready for `dicer-trace explain`.
+	mux.HandleFunc("/incidents", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		incs := append([]*fleet.Incident(nil), st.incidents...)
+		st.mu.Unlock()
+		type listed struct {
+			File string `json:"file"`
+			fleet.IncidentManifest
+		}
+		out := make([]listed, 0, len(incs))
+		for _, inc := range incs {
+			out = append(out, listed{File: inc.Filename(), IncidentManifest: inc.Manifest})
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/incidents/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/incidents/")
+		st.mu.Lock()
+		var found *fleet.Incident
+		for _, inc := range st.incidents { // last match wins across laps
+			if inc.Filename() == name {
+				found = inc
+			}
+		}
+		st.mu.Unlock()
+		if found == nil {
+			http.Error(w, "no such incident bundle", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := found.Dump(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		st.mu.Lock()
 		err, laps := st.lastErr, st.laps
@@ -171,7 +240,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 func runServe(addr string, p fleetParams) error {
 	st := newFleetServeState(p)
 	go st.loop(p)
-	fmt.Printf("serving /metrics /nodes /queue /alerts /events /healthz on %s (%d nodes, policy %s, scheduler %s, %d periods per lap)\n",
+	fmt.Printf("serving /metrics /nodes /queue /alerts /events /incidents /healthz on %s (%d nodes, policy %s, scheduler %s, %d periods per lap)\n",
 		addr, p.nodes, p.policy, p.scheduler, p.periods)
 	return httpd.ListenAndServe(addr, st.mux(p.pprof))
 }

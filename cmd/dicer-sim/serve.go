@@ -154,6 +154,7 @@ func (st *serveState) mux(withPprof bool) *http.ServeMux {
 		if timed != nil {
 			timed.WriteProm(w)
 		}
+		st.events.WriteProm(w)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		st.mu.Lock()
@@ -193,8 +194,8 @@ func (st *serveState) mux(withPprof bool) *http.ServeMux {
 			http.Error(w, "scenario loop stopped: "+err.Error(), http.StatusInternalServerError)
 			return
 		}
-		if st.monitor.Firing() {
-			http.Error(w, "degraded: slo burn-rate alert firing", http.StatusServiceUnavailable)
+		if degraded, why := st.monitor.Degraded(); degraded {
+			http.Error(w, "degraded: "+why, http.StatusServiceUnavailable)
 			return
 		}
 		fmt.Fprintf(w, "ok records=%d\n", st.exporter.Records())

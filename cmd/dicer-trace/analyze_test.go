@@ -110,6 +110,85 @@ func TestSummaryAndAlertsJSON(t *testing.T) {
 	}
 }
 
+// TestAnalyzeMultiHPTrace records a short multi-HP run (which emits a
+// dicer-trace/v2 stream) and checks that all three subcommands sniff
+// the schema, and that analyze reports the per-CLOS-group breakdown in
+// both text and JSON.
+func TestAnalyzeMultiHPTrace(t *testing.T) {
+	var hps []dicer.HPApp
+	for _, name := range []string{"omnetpp1", "sphinx1", "milc1"} {
+		p, err := dicer.AppByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hps = append(hps, dicer.HPApp{Profile: p})
+	}
+	be, err := dicer.AppByName("gcc_base1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rec bytes.Buffer
+	jl := dicer.NewTraceJSONL(&rec)
+	ms := &dicer.MultiScenario{
+		HPs:            hps,
+		BEs:            []dicer.Profile{be, be, be},
+		HorizonPeriods: 30,
+		Trace:          jl,
+	}
+	if _, err := ms.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trace := filepath.Join(t.TempDir(), "multi.jsonl")
+	if err := os.WriteFile(trace, rec.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := runAnalyze([]string{trace}, &out); err != nil {
+		t.Fatalf("analyze rejected a v2 trace: %v", err)
+	}
+	if !strings.Contains(out.String(), "CLOS group breakdown:") {
+		t.Errorf("v2 analyze report missing group breakdown:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := runAnalyze([]string{"-json", trace}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep diag.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("analyze -json is not valid JSON: %v", err)
+	}
+	if rep.Schema != "dicer-trace/v2" {
+		t.Errorf("report schema = %q, want dicer-trace/v2", rep.Schema)
+	}
+	if len(rep.Groups) == 0 {
+		t.Fatalf("v2 report has no group summaries")
+	}
+	for _, g := range rep.Groups {
+		if g.Periods == 0 || g.WaysMean <= 0 {
+			t.Errorf("group %d summary looks empty: %+v", g.Group, g)
+		}
+	}
+
+	// summary and alerts run the same engine; they must accept v2 too.
+	out.Reset()
+	if err := runSummary([]string{trace}, &out); err != nil {
+		t.Fatalf("summary rejected a v2 trace: %v", err)
+	}
+	if !strings.Contains(out.String(), "hp_slowdown") {
+		t.Errorf("v2 summary missing percentile table:\n%s", out.String())
+	}
+	out.Reset()
+	if err := runAlerts([]string{"-json", trace}, &out); err != nil {
+		t.Fatalf("alerts rejected a v2 trace: %v", err)
+	}
+}
+
 // TestAnalyzeRejectsGarbage covers the error paths: missing file, not a
 // trace, wrong argument count.
 func TestAnalyzeRejectsGarbage(t *testing.T) {

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dicer"
+)
+
+// runExplain runs the causal explain engine over one incident bundle:
+// violation-onset detection, a per-period flight strip, and the ranked
+// root-cause candidates. The report is deterministic — identical on a
+// live dump and its committed golden.
+func runExplain(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("explain: exactly one incident bundle expected")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	inc, err := dicer.ReadIncident(f)
+	if err != nil {
+		return err
+	}
+	rep := dicer.ExplainIncident(inc)
+	if *jsonOut {
+		b, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = stdout.Write(b)
+		return err
+	}
+	rep.Render(stdout, inc.Flight)
+	return nil
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dicer/internal/diag"
+)
+
+// incidentGoldenDir holds the bundles dicer-fleet's forensics golden
+// test seals and commits; explain's goldens are pinned over them, so a
+// live dump from the same seeded run must produce identical reports.
+var incidentGoldenDir = filepath.Join("..", "dicer-fleet", "testdata", "incidents")
+
+// TestExplainGoldenReports pins the rendered explain report for every
+// committed incident bundle byte-for-byte. Combined with dicer-fleet's
+// TestGoldenIncidentBundles (live dumps byte-equal the committed
+// bundles), this is the live == golden acceptance proof: explain is a
+// pure function of the bundle bytes.
+func TestExplainGoldenReports(t *testing.T) {
+	bundles, err := filepath.Glob(filepath.Join(incidentGoldenDir, "incident-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) == 0 {
+		t.Fatalf("no committed bundles in %s (run dicer-fleet tests with -update first)", incidentGoldenDir)
+	}
+	for _, bundle := range bundles {
+		name := strings.TrimSuffix(filepath.Base(bundle), ".jsonl")
+		t.Run(name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := runExplain([]string{bundle}, &out); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", name+".explain.golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("explain report drifted from golden:\ngot:\n%s\nwant:\n%s", out.Bytes(), want)
+			}
+
+			var again bytes.Buffer
+			if err := runExplain([]string{bundle}, &again); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), again.Bytes()) {
+				t.Error("explain output not deterministic across runs")
+			}
+		})
+	}
+}
+
+// TestExplainJSON checks the machine-readable report: valid JSON with
+// the dicer-explain/v1 schema, ranked findings, and a manifest matching
+// the bundle's trigger.
+func TestExplainJSON(t *testing.T) {
+	bundles, err := filepath.Glob(filepath.Join(incidentGoldenDir, "incident-*slo-burn.jsonl"))
+	if err != nil || len(bundles) == 0 {
+		t.Fatalf("no slo-burn bundle committed: %v", err)
+	}
+	var out bytes.Buffer
+	if err := runExplain([]string{"-json", bundles[0]}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep diag.ExplainReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("explain -json is not valid JSON: %v\n%s", err, out.Bytes())
+	}
+	if rep.Schema != diag.ExplainSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, diag.ExplainSchema)
+	}
+	if rep.Incident.Trigger != "slo-burn" {
+		t.Errorf("manifest trigger = %q, want slo-burn", rep.Incident.Trigger)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("slo-burn incident produced no root-cause candidates")
+	}
+	for i, f := range rep.Findings {
+		if f.Rank != i+1 {
+			t.Errorf("finding %d has rank %d", i, f.Rank)
+		}
+		if i > 0 && f.Score > rep.Findings[i-1].Score {
+			t.Errorf("findings not sorted by score: %v after %v", f.Score, rep.Findings[i-1].Score)
+		}
+	}
+}
+
+// TestExplainRejectsGarbage covers the error paths: missing file, not a
+// bundle, wrong argument count.
+func TestExplainRejectsGarbage(t *testing.T) {
+	var out bytes.Buffer
+	if err := runExplain([]string{filepath.Join(t.TempDir(), "nope.jsonl")}, &out); err == nil {
+		t.Error("explain accepted a missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{\"schema\":\"not-an-incident/v9\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runExplain([]string{bad}, &out); err == nil {
+		t.Error("explain accepted an unknown schema")
+	}
+	if err := runExplain([]string{"a", "b"}, &out); err == nil {
+		t.Error("explain accepted two positional arguments")
+	}
+}

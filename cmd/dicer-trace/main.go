@@ -11,12 +11,15 @@
 //	dicer-trace analyze trace.jsonl
 //	dicer-trace analyze -json cluster.jsonl
 //	dicer-trace alerts trace.jsonl
+//	dicer-trace explain incident-000-p0047-n001-slo-burn.jsonl
 //
 // replay exits non-zero on the first divergence between the trace and
 // the re-driven controller (or on a structurally unreplayable trace).
 // analyze/summary/alerts run the offline diagnostic engine — the same
 // histogram and burn-rate alerter code behind the live /metrics and
 // /alerts endpoints — over a recorded single-node or fleet trace.
+// explain runs the causal forensics engine over an incident bundle
+// dumped by the fleet flight recorder (dicer-fleet -forensics).
 package main
 
 import (
@@ -47,6 +50,8 @@ func main() {
 		err = runSummary(os.Args[2:], os.Stdout)
 	case "alerts":
 		err = runAlerts(os.Args[2:], os.Stdout)
+	case "explain":
+		err = runExplain(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -66,7 +71,8 @@ func usage() {
   dicer-trace replay <file>
   dicer-trace analyze [-slo F] [-alone-ipc F] [-json] <file>   full diagnostic report (single-node or fleet trace)
   dicer-trace summary [-json] <file>                           percentile table only
-  dicer-trace alerts  [-json] <file>                           burn-rate alert timeline only`)
+  dicer-trace alerts  [-json] <file>                           burn-rate alert timeline only
+  dicer-trace explain [-json] <bundle>                         causal root-cause report over an incident bundle`)
 }
 
 // runRecord runs one scenario with a JSONL trace sink attached.

@@ -176,6 +176,22 @@ type (
 	FleetEvent = fleet.FleetEvent
 	// FleetExporter aggregates cluster records into Prometheus text.
 	FleetExporter = metrics.FleetExporter
+	// FleetForensicsConfig arms the fleet flight recorder: per-node
+	// black-box rings sealed into incident bundles on SLO-burn, chaos,
+	// or guard-veto triggers.
+	FleetForensicsConfig = fleet.ForensicsConfig
+	// FleetIncident is one sealed forensic bundle: manifest, the
+	// triggering node's flight window, the control events in scope.
+	FleetIncident = fleet.Incident
+	// FleetIncidentManifest is a bundle's first JSONL line.
+	FleetIncidentManifest = fleet.IncidentManifest
+	// FleetFlightEntry is one node-period of black-box evidence.
+	FleetFlightEntry = fleet.FlightEntry
+	// DiagExplainReport is the causal explain engine's output: ranked
+	// root-cause candidates for one incident.
+	DiagExplainReport = diag.ExplainReport
+	// DiagFinding is one ranked candidate root cause.
+	DiagFinding = diag.Finding
 	// NodeChaosSchedule is a deterministic node freeze/loss schedule.
 	NodeChaosSchedule = chaos.NodeSchedule
 	// DiagHistogram is a zero-alloc streaming percentile histogram.
@@ -259,6 +275,15 @@ var ErrChaosInjected = chaos.ErrInjected
 func AnalyzeTrace(r io.Reader, opts DiagAnalyzeOptions) (*DiagReport, error) {
 	return diag.Analyze(r, opts)
 }
+
+// ReadIncident parses a forensic incident bundle written by the fleet
+// flight recorder (dicer-incident/v1 JSONL).
+func ReadIncident(r io.Reader) (*FleetIncident, error) { return fleet.ReadIncident(r) }
+
+// ExplainIncident runs the causal explain engine over one sealed
+// bundle: violation-onset detection and deterministically ranked
+// root-cause candidates from the decision provenance in the window.
+func ExplainIncident(inc *FleetIncident) *DiagExplainReport { return diag.ExplainIncident(inc) }
 
 // NewDiagMonitor builds a live diagnostic monitor; wire it as a trace
 // sink next to a PromExporter.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"dicer/internal/fleet"
@@ -52,6 +53,22 @@ type Report struct {
 	Causes  []CauseCount `json:"causes,omitempty"`
 	Counter Counters     `json:"counters,omitempty"`
 	Nodes   []NodeReport `json:"nodes,omitempty"`
+	// Groups is the per-CLOS-group breakdown of a multi-HP
+	// (dicer-trace/v2) trace; empty for v1 and fleet traces.
+	Groups []GroupSummary `json:"groups,omitempty"`
+}
+
+// GroupSummary aggregates one CLOS group's slice of a v2 trace.
+type GroupSummary struct {
+	Group     int     `json:"group"`
+	Periods   int     `json:"periods"`
+	IPCMean   float64 `json:"ipc_mean"`
+	BWMean    float64 `json:"bw_mean_gbps"`
+	WaysMean  float64 `json:"ways_mean"`
+	Decisions int     `json:"decisions"`
+	// TopCause is the group's most frequent decision cause (ties break
+	// lexicographically, so the report stays deterministic).
+	TopCause string `json:"top_cause,omitempty"`
 }
 
 // AnalyzeOptions tune the offline engine. The zero value analyses with
@@ -87,7 +104,7 @@ func Analyze(r io.Reader, opts AnalyzeOptions) (*Report, error) {
 		return nil, fmt.Errorf("diag: bad trace header: %w", err)
 	}
 	switch probe.Schema {
-	case obs.Schema:
+	case obs.Schema, obs.SchemaV2:
 		return analyzeNode(bytes.NewReader(raw), opts)
 	case fleet.TraceSchema:
 		return analyzeFleet(bytes.NewReader(raw), opts)
@@ -133,8 +150,75 @@ func analyzeNode(r io.Reader, opts AnalyzeOptions) (*Report, error) {
 	rep.Schema = hdr.Schema
 	rep.Policy = hdr.Policy
 	rep.Workload = workloadName(hdr.HP, len(hdr.BEs))
+	if len(hdr.HPs) > 0 {
+		rep.Workload = workloadName(strings.Join(hdr.HPs, ","), len(hdr.BEs))
+	}
 	rep.RefSource = refSource
+	rep.Groups = summariseGroups(recs)
 	return rep, nil
+}
+
+// summariseGroups folds a v2 trace's per-CLOS-group records into one
+// breakdown row per group. Returns nil on v1 traces (no group records).
+func summariseGroups(recs []obs.Record) []GroupSummary {
+	type acc struct {
+		periods   int
+		ipc, bw   float64
+		ways      float64
+		decisions int
+		causes    map[string]int
+	}
+	var accs []*acc
+	for i := range recs {
+		for j := range recs[i].Groups {
+			g := &recs[i].Groups[j]
+			for g.Group >= len(accs) {
+				accs = append(accs, &acc{causes: map[string]int{}})
+			}
+			a := accs[g.Group]
+			a.periods++
+			a.ipc += g.IPC
+			a.bw += g.BWGbps
+			a.ways += float64(g.Ways)
+			a.decisions += len(g.Decisions)
+			if g.Cause != "" {
+				a.causes[g.Cause]++
+			}
+		}
+	}
+	var out []GroupSummary
+	for id, a := range accs {
+		if a.periods == 0 {
+			continue
+		}
+		n := float64(a.periods)
+		gs := GroupSummary{
+			Group:     id,
+			Periods:   a.periods,
+			IPCMean:   a.ipc / n,
+			BWMean:    a.bw / n,
+			WaysMean:  a.ways / n,
+			Decisions: a.decisions,
+		}
+		best := 0
+		for _, cause := range sortedKeys(a.causes) {
+			if c := a.causes[cause]; c > best {
+				best, gs.TopCause = c, cause
+			}
+		}
+		out = append(out, gs)
+	}
+	return out
+}
+
+// sortedKeys returns a map's keys sorted, for deterministic iteration.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // analyzeFleet runs a cluster trace through a FleetMonitor.
@@ -237,6 +321,17 @@ func (r *Report) Render(w io.Writer) {
 	if r.Counter != (Counters{}) {
 		fmt.Fprintf(w, "saturated-periods %d  guard-vetoes %d  tolerated-faults %d\n",
 			r.Counter.Saturated, r.Counter.GuardVetoes, r.Counter.Tolerated)
+	}
+
+	if len(r.Groups) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "CLOS group breakdown:")
+		fmt.Fprintf(w, "%-6s %8s %9s %9s %9s %10s %s\n",
+			"group", "periods", "ipc-mean", "bw-mean", "ways-mean", "decisions", "top-cause")
+		for _, g := range r.Groups {
+			fmt.Fprintf(w, "%-6d %8d %9.4g %9.4g %9.4g %10d %s\n",
+				g.Group, g.Periods, g.IPCMean, g.BWMean, g.WaysMean, g.Decisions, g.TopCause)
+		}
 	}
 
 	if len(r.Nodes) > 0 {

@@ -1,8 +1,11 @@
 package diag
 
 import (
+	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"dicer/internal/fleet"
@@ -229,6 +232,20 @@ func (m *Monitor) Firing() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.alerter.Firing()
+}
+
+// Degraded is Firing with the reason attached: since when the alert has
+// fired and how hot the burn rates run, so a 503 body says what is
+// wrong instead of just that something is.
+func (m *Monitor) Degraded() (bool, string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.alerter.Firing() {
+		return false, ""
+	}
+	st := m.alerter.State()
+	return true, fmt.Sprintf("slo-burn alert firing since period %d (short-burn %.2f, long-burn %.2f)",
+		st.Since, st.Burns[0], st.Burns[len(st.Burns)-1])
 }
 
 // AlertsSnapshot is the /alerts payload of a single-node monitor.
@@ -556,20 +573,34 @@ func (m *FleetMonitor) ObserveRecord(rec *fleet.ClusterRecord) {
 }
 
 // Degraded reports the /healthz degradation signal: a firing alert
-// (aggregate or any node) or a lost node.
+// (aggregate or any node) or a lost node. The reason names the exact
+// source — which nodes are lost, which alerts fire and how hot their
+// burn rates run — so a 503 body is actionable without a second query.
 func (m *FleetMonitor) Degraded() (bool, string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.lostNodes > 0 {
-		return true, "node lost"
+		var lost []string
+		for _, id := range m.nodeIDs() {
+			if m.nodes[id].lost {
+				lost = append(lost, strconv.Itoa(id))
+			}
+		}
+		return true, fmt.Sprintf("node(s) lost: %s", strings.Join(lost, ","))
 	}
 	if m.agg.Firing() {
-		return true, "fleet slo-burn alert firing"
+		st := m.agg.State()
+		return true, fmt.Sprintf("fleet slo-burn alert firing since period %d (short-burn %.2f, long-burn %.2f)",
+			st.Since, st.Burns[0], st.Burns[len(st.Burns)-1])
 	}
+	var firing []string
 	for _, id := range m.nodeIDs() {
 		if m.nodes[id].alerter.Firing() {
-			return true, "node slo-burn alert firing"
+			firing = append(firing, strconv.Itoa(id))
 		}
+	}
+	if len(firing) > 0 {
+		return true, fmt.Sprintf("slo-burn alert firing on node(s) %s", strings.Join(firing, ","))
 	}
 	return false, ""
 }

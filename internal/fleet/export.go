@@ -21,8 +21,22 @@ func (r *ClusterRecord) Sample() metrics.FleetSample {
 		Losses:        r.Losses,
 		Evicted:       r.Evicted,
 		NodesLive:     r.NodesLive,
+		Quarantined:   r.Quarantined,
+		Incidents:     r.Incidents,
 		SLOViolations: r.SLOViolations,
 		FleetEFU:      r.FleetEFU,
+	}
+	for i := range r.Events {
+		switch r.Events[i].Cause {
+		case CauseMigration:
+			s.Migrations++
+		case CauseRepack:
+			s.Repacks++
+		case CauseScaleUp:
+			s.ScaleUps++
+		case CauseScaleDown:
+			s.ScaleDowns++
+		}
 	}
 	for _, hb := range r.Nodes {
 		s.Nodes = append(s.Nodes, metrics.FleetNode{

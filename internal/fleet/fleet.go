@@ -91,6 +91,11 @@ type Config struct {
 	// drains, re-clustering multi-HP cache plans) and only then adds
 	// nodes; sustained idleness drains and retires them.
 	Autoscale AutoscaleConfig
+	// Forensics arms the flight recorder: per-node black-box rings of
+	// full-resolution entries, snapshotted into deterministic incident
+	// bundles when an SLO-burn alert fires, a guard vetoes, or a node
+	// is frozen/lost.
+	Forensics ForensicsConfig
 
 	// NodeChaos schedules node freeze/loss events.
 	NodeChaos chaos.NodeSchedule
@@ -110,6 +115,13 @@ type Config struct {
 	// record (the cluster pools its record storage), so it may call back
 	// into the cluster and retain what it is given.
 	OnPeriod func(rec *ClusterRecord, queue []QueueEntry)
+
+	// OnIncident, when set, observes each incident bundle as it is
+	// sealed (the trigger period plus Forensics.TailPeriods later, or at
+	// Finish for triggers the horizon cut short). Like OnPeriod it runs
+	// outside the step lock; incidents are immutable once sealed, so the
+	// callback may retain the pointer.
+	OnIncident func(inc *Incident)
 }
 
 // withDefaults returns cfg with unset fields filled.
@@ -167,6 +179,7 @@ func (cfg Config) withDefaults() Config {
 	}
 	cfg.Migration.withDefaults()
 	cfg.Autoscale.withDefaults(cfg.Nodes)
+	cfg.Forensics.withDefaults()
 	return cfg
 }
 
@@ -203,6 +216,12 @@ type Result struct {
 	NodesAdded   int `json:"nodes_added,omitempty"`
 	NodesRetired int `json:"nodes_retired,omitempty"`
 	NodesEnd     int `json:"nodes_at_end,omitempty"`
+
+	// Incidents counts sealed forensic bundles (IncidentsDropped the
+	// triggers discarded at the MaxIncidents bound); zero and omitted
+	// unless the flight recorder is armed.
+	Incidents        int `json:"incidents,omitempty"`
+	IncidentsDropped int `json:"incidents_dropped,omitempty"`
 
 	// FleetEFU is the per-period fleet EFU averaged over the horizon.
 	FleetEFU float64 `json:"fleet_efu"`
@@ -256,12 +275,15 @@ type Cluster struct {
 	res      Result
 	lw       *obs.LineWriter
 
-	// Migration state (alerters is nil unless Migration.Enabled):
-	// per-node burn-rate alerters, placement quarantine bounds, and
-	// eviction cooldown bounds.
+	// Migration state (alerters is nil unless migration or forensics is
+	// armed): per-node burn-rate alerters, placement quarantine bounds,
+	// and eviction cooldown bounds.
 	alerters  []*slo.Alerter
 	quarUntil []int
 	migNext   []int
+
+	// fr is the flight recorder (nil unless Forensics.Enabled).
+	fr *forensics
 
 	// Autoscaler state: consecutive pressure/idle periods, the decision
 	// cooldown bound, whether the repartition-first rung already ran for
@@ -317,6 +339,9 @@ func New(cfg Config) (*Cluster, error) {
 	if err := cfg.Autoscale.validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.Forensics.validate(); err != nil {
+		return nil, err
+	}
 	sched, err := NewScheduler(cfg.Scheduler, cfg.SchedSeed)
 	if err != nil {
 		return nil, err
@@ -334,6 +359,9 @@ func New(cfg Config) (*Cluster, error) {
 		accs:     make([]stepAcc, cfg.Workers),
 	}
 	c.stepFn = c.stepNode
+	if cfg.Forensics.Enabled {
+		c.fr = newForensics(cfg.Forensics)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n, err := c.buildNode(i)
 		if err != nil {
@@ -400,9 +428,23 @@ func (c *Cluster) appendNode(n *Node) {
 	c.lastGbps = append(c.lastGbps, 0)
 	c.quarUntil = append(c.quarUntil, 0)
 	c.migNext = append(c.migNext, 0)
-	if c.cfg.Migration.Enabled {
-		c.alerters = append(c.alerters, slo.NewAlerter(c.cfg.Migration.Alert))
+	if c.cfg.Migration.Enabled || c.cfg.Forensics.Enabled {
+		c.alerters = append(c.alerters, slo.NewAlerter(c.alertConfig()))
 	}
+	if c.fr != nil {
+		c.fr.addNode()
+		n.armFlightTap()
+	}
+}
+
+// alertConfig is the per-node burn-rate rule in effect: the migration
+// engine's when it is armed (so migration and forensics agree on what
+// "burning" means), the forensics rule otherwise.
+func (c *Cluster) alertConfig() slo.AlertConfig {
+	if c.cfg.Migration.Enabled {
+		return c.cfg.Migration.Alert
+	}
+	return c.cfg.Forensics.Alert
 }
 
 // header builds the trace header.
@@ -439,7 +481,43 @@ func (c *Cluster) header() TraceHeader {
 		m := c.cfg.Migration
 		h.Migration = &m
 	}
+	if c.cfg.Forensics.Enabled {
+		f := c.cfg.Forensics
+		h.Forensics = &f
+	}
 	return h
+}
+
+// incidentManifest fills a bundle's configuration context; the seal pass
+// stamps trigger, sequence and window on top.
+func (c *Cluster) incidentManifest(pd *pendingIncident) IncidentManifest {
+	hpsPerNode := 0
+	if c.cfg.HPsPerNode > 1 {
+		hpsPerNode = c.cfg.HPsPerNode
+	}
+	return IncidentManifest{
+		Policy:     c.cfg.Policy,
+		Scheduler:  c.cfg.Scheduler,
+		Nodes:      c.cfg.Nodes,
+		HPsPerNode: hpsPerNode,
+		SLO:        c.cfg.SLO,
+		LinkGbps:   c.cfg.Machine.Link.CapacityGBps,
+		PeriodSec:  c.cfg.PeriodSec,
+		NodeChaos:  c.cfg.NodeChaos.Name,
+		Alert:      c.alertConfig(),
+	}
+}
+
+// Incidents returns the sealed incident bundles so far (nil when the
+// flight recorder is not armed). Bundles are immutable; the slice is a
+// copy.
+func (c *Cluster) Incidents() []*Incident {
+	c.stepMu.Lock()
+	defer c.stepMu.Unlock()
+	if c.fr == nil {
+		return nil
+	}
+	return append([]*Incident(nil), c.fr.incidents...)
 }
 
 // aloneIPC resolves a profile's full-LLC alone-run IPC, memoised.
@@ -560,9 +638,17 @@ func (c *Cluster) Step() error {
 		cbRec = &r
 		q = c.queueSnapshotLocked()
 	}
+	var sealed []*Incident
+	onInc := c.cfg.OnIncident
+	if err == nil && onInc != nil && c.fr != nil && len(c.fr.justSealed) > 0 {
+		sealed = append(sealed, c.fr.justSealed...)
+	}
 	c.stepMu.Unlock()
 	if err == nil && cb != nil {
 		cb(cbRec, q)
+	}
+	for _, inc := range sealed {
+		onInc(inc)
 	}
 	return err
 }
@@ -604,6 +690,9 @@ func (c *Cluster) stepLocked() (*ClusterRecord, error) {
 	p := c.period
 	rec := &c.rec
 	*rec = ClusterRecord{Period: p, Nodes: rec.Nodes[:0], Events: rec.Events[:0]}
+	if c.fr != nil {
+		c.fr.justSealed = c.fr.justSealed[:0]
+	}
 
 	// Control pass, on the previous period's signals: migration first
 	// (its evictions add queue pressure the autoscaler should see), then
@@ -632,9 +721,16 @@ func (c *Cluster) stepLocked() (*ClusterRecord, error) {
 		case chaos.NodeFreeze:
 			n.Freeze(p, ev.Periods)
 			rec.Freezes++
+			if c.fr != nil {
+				c.fr.trigger(p, ev.Node, TriggerNodeFreeze, fmt.Sprintf("periods=%d", ev.Periods))
+			}
 		case chaos.NodeLoss:
 			rec.Losses++
-			for _, j := range n.Lose() {
+			orphans := n.Lose()
+			if c.fr != nil {
+				c.fr.trigger(p, ev.Node, TriggerNodeLoss, fmt.Sprintf("orphans=%d", len(orphans)))
+			}
+			for _, j := range orphans {
 				if j.Attempts >= c.cfg.MaxPlaceAttempts {
 					rec.Dropped++
 					c.res.Dropped++
@@ -679,6 +775,17 @@ func (c *Cluster) stepLocked() (*ClusterRecord, error) {
 		})
 		rec.Admitted++
 		c.res.Admitted++
+	}
+
+	// Quarantined nodes are healthy capacity the migration engine is
+	// deliberately not placing onto; count them so backpressure from
+	// quarantine is observable in the trace and the exporter.
+	if c.cfg.Migration.Enabled {
+		for i, n := range c.nodes {
+			if !n.lost && !n.retired && p < c.quarUntil[i] {
+				rec.Quarantined++
+			}
+		}
 	}
 
 	// Placement pass. Candidate views are built once into pooled slices,
@@ -777,7 +884,8 @@ func (c *Cluster) stepLocked() (*ClusterRecord, error) {
 	}
 	// Per-node burn-rate alerters advance serially in ID order, off the
 	// heartbeat stream (live nodes only — frozen and lost nodes miss
-	// heartbeats, matching the diag monitors).
+	// heartbeats, matching the diag monitors). A transition to firing is
+	// an incident trigger when the flight recorder is armed.
 	if c.alerters != nil {
 		for i := range c.outs {
 			if !c.outs[i].live {
@@ -787,8 +895,35 @@ func (c *Cluster) stepLocked() (*ClusterRecord, error) {
 			if c.outs[i].hb.SLOViolated {
 				v = 1
 			}
-			c.alerters[i].Step(v)
+			ev, changed := c.alerters[i].Step(v)
+			if changed && ev.Firing && c.fr != nil {
+				c.fr.trigger(p, i, TriggerSLOBurn, fmt.Sprintf("burn=%.2f/%.2f", ev.ShortBurn, ev.LongBurn))
+			}
 		}
+	}
+	// Flight pass: one entry per non-retired node into its black-box
+	// ring — the heartbeat, the controller's decision provenance for the
+	// period, the alerter's burn state — then the period's control
+	// events, then any due incident seals. All value copies into
+	// preallocated rings; steady state allocates nothing.
+	if c.fr != nil {
+		for i := range c.outs {
+			o := &c.outs[i]
+			if o.hb.Retired {
+				continue
+			}
+			e := FlightEntry{Period: p, Heartbeat: o.hb}
+			c.nodes[i].takeFlight(&e)
+			if o.live && c.alerters != nil {
+				a := c.alerters[i]
+				burns := a.Burns()
+				e.BurnShort, e.BurnLong = burns[0], burns[len(burns)-1]
+				e.AlertFiring = a.Firing()
+			}
+			c.fr.noteEntry(e)
+		}
+		c.fr.noteEvents(p, rec.Events)
+		rec.Incidents = c.fr.seal(p, false, c.incidentManifest)
 	}
 	running := 0
 	for w := range c.accs {
@@ -818,14 +953,27 @@ func (c *Cluster) stepLocked() (*ClusterRecord, error) {
 	return rec, nil
 }
 
-// Finish flushes the trace and returns the run summary. Idempotent.
+// Finish flushes the trace and returns the run summary. Pending
+// incident triggers whose tail the horizon cut short are sealed with
+// the evidence recorded so far. Idempotent.
 func (c *Cluster) Finish() (Result, error) {
 	c.stepMu.Lock()
-	defer c.stepMu.Unlock()
 	if c.finished {
-		return c.res, c.finishErr
+		res, err := c.res, c.finishErr
+		c.stepMu.Unlock()
+		return res, err
 	}
 	c.finished = true
+	var sealed []*Incident
+	if c.fr != nil {
+		c.fr.justSealed = c.fr.justSealed[:0]
+		c.fr.seal(c.period, true, c.incidentManifest)
+		c.res.Incidents = len(c.fr.incidents)
+		c.res.IncidentsDropped = c.fr.dropped
+		if c.cfg.OnIncident != nil {
+			sealed = append(sealed, c.fr.justSealed...)
+		}
+	}
 	c.res.Periods = c.period
 	c.res.QueuedEnd = len(c.queue)
 	for _, n := range c.nodes {
@@ -853,7 +1001,12 @@ func (c *Cluster) Finish() (Result, error) {
 	if c.lw != nil {
 		c.finishErr = c.lw.Flush()
 	}
-	return c.res, c.finishErr
+	res, err := c.res, c.finishErr
+	c.stepMu.Unlock()
+	for _, inc := range sealed {
+		c.cfg.OnIncident(inc)
+	}
+	return res, err
 }
 
 // Run steps the cluster to its horizon and returns the summary.

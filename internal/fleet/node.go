@@ -134,6 +134,17 @@ type Node struct {
 	// viewFP is view's per-group footprint scratch on multi-HP nodes,
 	// pooled so the placement pass allocates nothing per period.
 	viewFP []float64
+
+	// Flight-recorder tap, written by the controller's chained trace
+	// hook during Observe (inside the node's own stepping slot, so no
+	// synchronisation) and drained serially by the cluster's flight
+	// pass. flightState persists across periods — it is the state
+	// machine's position, informative even on periods without decisions
+	// — while cause/count/recluster reset every drain.
+	flightState  string
+	flightCause  string
+	flightCount  int
+	flightReclus bool
 }
 
 // buildNodePolicy constructs the node-local policy instance.
@@ -431,6 +442,42 @@ func (n *Node) Repack() (bool, error) {
 		return false, nil
 	}
 	return n.multi.Replan()
+}
+
+// armFlightTap chains the flight recorder's provenance tap onto the
+// node controller's decision stream: each event overwrites the tap with
+// the latest state and cause (one closure per node, allocated once at
+// arm time; the per-event cost is two string-header stores). Policies
+// without a controller (UM, CT) record no provenance.
+func (n *Node) armFlightTap() {
+	if n.multi != nil {
+		n.multi.ChainTrace(func(e core.GroupEvent) {
+			n.flightState = e.State
+			n.flightCause = e.Cause
+			n.flightCount++
+			if e.Kind == core.EventRecluster {
+				n.flightReclus = true
+			}
+		})
+		return
+	}
+	if ctl := core.ControllerOf(n.pol); ctl != nil {
+		ctl.ChainTrace(func(e core.Event) {
+			n.flightState = e.State
+			n.flightCause = e.Cause
+			n.flightCount++
+		})
+	}
+}
+
+// takeFlight drains the provenance tap into a flight entry and resets
+// the per-period fields.
+func (n *Node) takeFlight(e *FlightEntry) {
+	e.State = n.flightState
+	e.Cause = n.flightCause
+	e.Decisions = n.flightCount
+	e.Reclustered = n.flightReclus
+	n.flightCause, n.flightCount, n.flightReclus = "", 0, false
 }
 
 // view builds the scheduler's snapshot of this node. lastTotalGbps is

@@ -37,10 +37,12 @@ type TraceHeader struct {
 	HPs        []string      `json:"hps"`
 	Arrivals   ArrivalConfig `json:"arrivals"`
 	NodeChaos  string        `json:"node_chaos,omitempty"`
-	// Autoscale / Migration record the control loops' parameters when
-	// enabled; static fleets omit them and stay byte-identical.
+	// Autoscale / Migration / Forensics record the control loops' and
+	// flight recorder's parameters when enabled; static fleets omit
+	// them and stay byte-identical.
 	Autoscale *AutoscaleConfig `json:"autoscale,omitempty"`
 	Migration *MigrationConfig `json:"migration,omitempty"`
+	Forensics *ForensicsConfig `json:"forensics,omitempty"`
 }
 
 // Causes of fleet-level control events, the decision provenance of the
@@ -94,10 +96,15 @@ type ClusterRecord struct {
 	Losses  int `json:"losses,omitempty"`
 
 	// Evicted counts BE jobs migrated off burning nodes this period;
-	// NodesLive is the fleet size net of retired nodes (recorded only
-	// when the autoscaler runs, so static traces are unchanged).
-	Evicted   int `json:"evicted,omitempty"`
-	NodesLive int `json:"nodes_live,omitempty"`
+	// Quarantined the healthy nodes the migration engine is keeping out
+	// of the placement candidate set; NodesLive is the fleet size net of
+	// retired nodes (recorded only when the autoscaler runs, so static
+	// traces are unchanged). Incidents counts forensic bundles sealed
+	// this period (flight recorder armed only).
+	Evicted     int `json:"evicted,omitempty"`
+	Quarantined int `json:"quarantined,omitempty"`
+	NodesLive   int `json:"nodes_live,omitempty"`
+	Incidents   int `json:"incidents,omitempty"`
 
 	// SLOViolations counts live nodes whose HP missed its SLO this
 	// period; FleetEFU is Σ norm-IPC over every running process divided

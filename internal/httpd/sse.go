@@ -2,6 +2,7 @@ package httpd
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 )
@@ -21,8 +22,9 @@ const subBuffer = 16
 //
 // An EventStream is safe for concurrent Publish and ServeHTTP.
 type EventStream struct {
-	mu   sync.Mutex
-	subs map[chan string]struct{}
+	mu      sync.Mutex
+	subs    map[chan string]struct{}
+	dropped int64
 }
 
 // NewEventStream returns an empty broker.
@@ -40,6 +42,7 @@ func (s *EventStream) Publish(event, data string) {
 		select {
 		case ch <- msg:
 		default: // slow client: drop rather than stall the control loop
+			s.dropped++
 		}
 	}
 	s.mu.Unlock()
@@ -50,6 +53,25 @@ func (s *EventStream) Subscribers() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.subs)
+}
+
+// Dropped reports the lifetime count of events discarded because a
+// subscriber's buffer was full — the operator's signal that a client
+// is reading too slowly to be trusted as a complete event log.
+func (s *EventStream) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// WriteProm renders the broker's counters as Prometheus text; the serve
+// modes append it to their /metrics output.
+func (s *EventStream) WriteProm(w io.Writer) {
+	s.mu.Lock()
+	subs, dropped := len(s.subs), s.dropped
+	s.mu.Unlock()
+	fmt.Fprintf(w, "# HELP dicer_sse_subscribers Connected /events subscribers.\n# TYPE dicer_sse_subscribers gauge\ndicer_sse_subscribers %d\n", subs)
+	fmt.Fprintf(w, "# HELP dicer_sse_dropped_total Events dropped on full subscriber buffers.\n# TYPE dicer_sse_dropped_total counter\ndicer_sse_dropped_total %d\n", dropped)
 }
 
 func (s *EventStream) subscribe() chan string {

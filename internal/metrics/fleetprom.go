@@ -46,6 +46,18 @@ type FleetSample struct {
 	Evicted   int
 	NodesLive int
 
+	// Control-loop decision counts for the period, derived from the
+	// cluster record's events: burn-rate migrations, repartition-first
+	// repacks, autoscale ups/downs. Quarantined is the number of nodes
+	// the migration engine is holding out of placement; Incidents the
+	// forensic bundles the flight recorder sealed this period.
+	Migrations  int
+	Repacks     int
+	ScaleUps    int
+	ScaleDowns  int
+	Quarantined int
+	Incidents   int
+
 	SLOViolations int
 	FleetEFU      float64
 
@@ -68,7 +80,14 @@ type FleetSample struct {
 //	dicer_fleet_done_total                  counter  jobs completed
 //	dicer_fleet_node_freezes_total          counter  node freeze events
 //	dicer_fleet_node_losses_total           counter  node loss events
+//	dicer_fleet_evictions_total             counter  BE jobs migrated off burning nodes
+//	dicer_fleet_migrations_total            counter  SLO-burn migration decisions
+//	dicer_fleet_repacks_total               counter  repartition-first repacks
+//	dicer_fleet_scale_ups_total             counter  autoscaler scale-ups
+//	dicer_fleet_scale_downs_total           counter  autoscaler drains/retires
+//	dicer_fleet_incidents_total             counter  forensic bundles sealed
 //	dicer_fleet_slo_violations_total        counter  (node, period) HP SLO misses
+//	dicer_fleet_quarantined                 gauge    nodes held out of placement
 //	dicer_fleet_period                      gauge    last period index
 //	dicer_fleet_queue_len                   gauge    jobs waiting
 //	dicer_fleet_running                     gauge    jobs running
@@ -94,6 +113,11 @@ type FleetExporter struct {
 	losses     int
 	evicted    int
 	sloViol    int
+	migrations int
+	repacks    int
+	scaleUps   int
+	scaleDowns int
+	incidents  int
 
 	last    FleetSample
 	haveRec bool
@@ -117,6 +141,11 @@ func (e *FleetExporter) Observe(s FleetSample) {
 	e.losses += s.Losses
 	e.evicted += s.Evicted
 	e.sloViol += s.SLOViolations
+	e.migrations += s.Migrations
+	e.repacks += s.Repacks
+	e.scaleUps += s.ScaleUps
+	e.scaleDowns += s.ScaleDowns
+	e.incidents += s.Incidents
 	e.last = s
 	e.last.Nodes = append([]FleetNode(nil), s.Nodes...)
 	e.haveRec = true
@@ -159,6 +188,16 @@ func (e *FleetExporter) WriteTo(w io.Writer) (int64, error) {
 		"Node loss events.", float64(e.losses))
 	writeMetric(cw, "dicer_fleet_evictions_total", "counter",
 		"BE jobs migrated off burning nodes.", float64(e.evicted))
+	writeMetric(cw, "dicer_fleet_migrations_total", "counter",
+		"SLO-burn migration decisions (one per burning node acted on).", float64(e.migrations))
+	writeMetric(cw, "dicer_fleet_repacks_total", "counter",
+		"Repartition-first repacks (cache plans re-clustered fleet-wide).", float64(e.repacks))
+	writeMetric(cw, "dicer_fleet_scale_ups_total", "counter",
+		"Autoscaler scale-up decisions.", float64(e.scaleUps))
+	writeMetric(cw, "dicer_fleet_scale_downs_total", "counter",
+		"Autoscaler drain/retire decisions.", float64(e.scaleDowns))
+	writeMetric(cw, "dicer_fleet_incidents_total", "counter",
+		"Forensic incident bundles sealed by the flight recorder.", float64(e.incidents))
 	writeMetric(cw, "dicer_fleet_slo_violations_total", "counter",
 		"Per-node, per-period HP SLO misses.", float64(e.sloViol))
 
@@ -170,6 +209,9 @@ func (e *FleetExporter) WriteTo(w io.Writer) (int64, error) {
 		writeMetric(cw, "dicer_fleet_efu", "gauge", "Last period's fleet EFU.", s.FleetEFU)
 		if s.NodesLive > 0 {
 			writeMetric(cw, "dicer_fleet_nodes_live", "gauge", "Working (non-retired, non-lost) nodes.", float64(s.NodesLive))
+		}
+		if s.Quarantined > 0 {
+			writeMetric(cw, "dicer_fleet_quarantined", "gauge", "Nodes quarantined out of the placement candidate set.", float64(s.Quarantined))
 		}
 
 		nodes := append([]FleetNode(nil), s.Nodes...)

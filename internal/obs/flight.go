@@ -1,0 +1,168 @@
+package obs
+
+// Flight recorder: the black-box layer behind incident forensics. Full
+// JSONL tracing of a 1000-node fleet is too heavy to leave on, so each
+// node instead keeps a small fixed-capacity ring of full-resolution
+// entries — always armed, allocation-free once warm — and the fleet
+// snapshots it into an incident bundle only when something goes wrong
+// (an SLO-burn alert fires, a guard vetoes, a node freezes or is lost).
+//
+// Two shapes live here:
+//
+//   - FlightRing[T] is the generic ring: unsynchronized, single-writer,
+//     value-copy on push. The fleet keeps one FlightRing[FlightEntry]
+//     per node; entries are plain structs (string fields copy their
+//     headers, not their bytes), so Push is a slot assignment — a few
+//     nanoseconds over doing nothing, and 0 allocs/op warm.
+//   - Flight is the Record-typed sink for single-node runs: the
+//     unsynchronized analogue of Ring that deep-copies Decisions and
+//     Groups into per-slot buffers grown on first contact, so steady
+//     state stays allocation-free while multi-HP records survive slot
+//     reuse intact.
+//
+// Neither is safe for concurrent use; the fleet writes each node's ring
+// from exactly one executor worker per period and snapshots only after
+// the stepping barrier, under the cluster lock.
+
+// FlightRing is a fixed-capacity, single-writer ring buffer. Push never
+// allocates; Snapshot appends oldest-first into a caller-supplied slice.
+type FlightRing[T any] struct {
+	slots []T
+	pos   int // next write position
+	n     int // valid slots (<= len(slots))
+	total int // values ever pushed
+}
+
+// NewFlightRing creates a ring retaining the most recent capacity values.
+func NewFlightRing[T any](capacity int) *FlightRing[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FlightRing[T]{slots: make([]T, capacity)}
+}
+
+// Push copies v into the ring, evicting the oldest value when full.
+func (g *FlightRing[T]) Push(v T) {
+	g.slots[g.pos] = v
+	g.pos = (g.pos + 1) % len(g.slots)
+	if g.n < len(g.slots) {
+		g.n++
+	}
+	g.total++
+}
+
+// Len returns the number of values currently held.
+func (g *FlightRing[T]) Len() int { return g.n }
+
+// Cap returns the ring capacity.
+func (g *FlightRing[T]) Cap() int { return len(g.slots) }
+
+// Total returns the number of values ever pushed (held or evicted).
+func (g *FlightRing[T]) Total() int { return g.total }
+
+// Snapshot appends the held values oldest-first to dst and returns the
+// extended slice. Values are shallow copies: callers that need isolation
+// from future pushes own the returned slice, but any reference fields
+// inside T still alias whatever the producer stored.
+func (g *FlightRing[T]) Snapshot(dst []T) []T {
+	start := g.pos - g.n
+	if start < 0 {
+		start += len(g.slots)
+	}
+	for i := 0; i < g.n; i++ {
+		dst = append(dst, g.slots[(start+i)%len(g.slots)])
+	}
+	return dst
+}
+
+// Reset empties the ring without releasing its slots.
+func (g *FlightRing[T]) Reset() {
+	var zero T
+	for i := range g.slots {
+		g.slots[i] = zero
+	}
+	g.pos, g.n, g.total = 0, 0, 0
+}
+
+// Flight is the Record-typed flight recorder for single-node runs: a
+// fixed-capacity ring sink retaining the last W periods at full
+// resolution. Unlike Ring it takes no lock — it belongs to exactly one
+// recording loop — and unlike Ring it also preserves per-group (v2)
+// decisions across slot reuse. Per-slot buffers grow to the workload's
+// group count on first contact and are reused from then on, so a warm
+// Flight emits at 0 allocs/op (TestFlightRecorderAllocFree pins this).
+type Flight struct {
+	slots []flightSlot
+	pos   int
+	n     int
+	total int
+}
+
+// flightSlot owns the backing buffers the retained record's slices point
+// into, so retention never aliases the Recorder's scratch.
+type flightSlot struct {
+	rec    Record
+	dec    [maxDecisions]string
+	groups []GroupRecord
+	gdec   [][maxDecisions]string
+}
+
+// NewFlight creates a flight recorder holding the most recent capacity
+// records.
+func NewFlight(capacity int) *Flight {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Flight{slots: make([]flightSlot, capacity)}
+}
+
+// Emit implements Sink.
+func (f *Flight) Emit(r *Record) {
+	s := &f.slots[f.pos]
+	s.rec = *r
+	nd := copy(s.dec[:], r.Decisions)
+	s.rec.Decisions = s.dec[:nd]
+	if ng := len(r.Groups); ng > 0 {
+		if cap(s.groups) < ng {
+			s.groups = make([]GroupRecord, ng)
+			s.gdec = make([][maxDecisions]string, ng)
+		}
+		s.groups = s.groups[:ng]
+		s.gdec = s.gdec[:ng]
+		copy(s.groups, r.Groups)
+		for i := range s.groups {
+			n := copy(s.gdec[i][:], r.Groups[i].Decisions)
+			s.groups[i].Decisions = s.gdec[i][:n]
+		}
+		s.rec.Groups = s.groups
+	} else {
+		s.rec.Groups = nil
+	}
+	f.pos = (f.pos + 1) % len(f.slots)
+	if f.n < len(f.slots) {
+		f.n++
+	}
+	f.total++
+}
+
+// Len returns the number of records currently held.
+func (f *Flight) Len() int { return f.n }
+
+// Total returns the number of records ever emitted (held or evicted).
+func (f *Flight) Total() int { return f.total }
+
+// Snapshot returns the held records oldest-first as independent deep
+// copies, safe to serialise while the ring keeps recording.
+func (f *Flight) Snapshot() []Record {
+	out := make([]Record, 0, f.n)
+	start := f.pos - f.n
+	if start < 0 {
+		start += len(f.slots)
+	}
+	for i := 0; i < f.n; i++ {
+		out = append(out, f.slots[(start+i)%len(f.slots)].rec.clone())
+	}
+	return out
+}
+
+var _ Sink = (*Flight)(nil)
